@@ -1,0 +1,302 @@
+package crawlerboxgo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"crawlerbox/internal/crawler"
+	"crawlerbox/internal/dataset"
+	"crawlerbox/internal/imaging"
+	"crawlerbox/internal/mime"
+	"crawlerbox/internal/qrcode"
+	"crawlerbox/internal/report"
+	"crawlerbox/internal/urlx"
+)
+
+// The benchmark corpus is generated and analyzed once (a tenth-scale run,
+// ~520 messages) and shared across every table/figure benchmark; each bench
+// then re-times its own aggregation or workload.
+var (
+	_benchOnce sync.Once
+	_benchRun  *report.Run
+	_benchErr  error
+)
+
+func benchRun(b *testing.B) *report.Run {
+	b.Helper()
+	_benchOnce.Do(func() {
+		c, err := dataset.Generate(dataset.Config{Seed: 42, Scale: 0.1})
+		if err != nil {
+			_benchErr = err
+			return
+		}
+		_benchRun, _benchErr = report.Analyze(c)
+	})
+	if _benchErr != nil {
+		b.Fatal(_benchErr)
+	}
+	return _benchRun
+}
+
+// BenchmarkTable1CrawlerAssessment regenerates Table I: the eight crawlers
+// against BotD, Turnstile, and AnonWAF. The report is printed once.
+func BenchmarkTable1CrawlerAssessment(b *testing.B) {
+	var last *crawler.Assessment
+	for i := 0; i < b.N; i++ {
+		a, err := crawler.RunAssessment()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = a
+	}
+	b.StopTimer()
+	if last != nil {
+		b.Log("\n" + report.RenderTable1(last))
+	}
+}
+
+// BenchmarkTable2TLDDistribution regenerates Table II from the analyzed
+// corpus's landing domains.
+func BenchmarkTable2TLDDistribution(b *testing.B) {
+	run := benchRun(b)
+	b.ResetTimer()
+	var rows []urlx.TLDCount
+	for i := 0; i < b.N; i++ {
+		rows = run.Table2()
+	}
+	b.StopTimer()
+	if len(rows) > 0 {
+		b.Log("\n" + run.RenderTable2())
+	}
+}
+
+// BenchmarkFigure2MonthlyVolume regenerates Figure 2: monthly counts, the
+// 2023 baseline comparison, and the paired t-tests.
+func BenchmarkFigure2MonthlyVolume(b *testing.B) {
+	run := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run.Figure2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + run.RenderFigure2())
+}
+
+// BenchmarkFigure3DeploymentTimeline regenerates Figure 3: the
+// registration-to-delivery and certificate-to-delivery histograms.
+func BenchmarkFigure3DeploymentTimeline(b *testing.B) {
+	run := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run.Figure3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + run.RenderFigure3())
+}
+
+// BenchmarkDispositionBreakdown regenerates the Section V message
+// disposition table.
+func BenchmarkDispositionBreakdown(b *testing.B) {
+	run := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = run.Disposition()
+	}
+	b.StopTimer()
+	b.Log("\n" + run.RenderDisposition())
+}
+
+// BenchmarkSpearPhishClassification regenerates the Section V-A
+// spear-phishing shares (73.3% spear, 29.8% hot-loading).
+func BenchmarkSpearPhishClassification(b *testing.B) {
+	run := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = run.Spear()
+	}
+	b.StopTimer()
+	b.Log("\n" + run.RenderSpear())
+}
+
+// BenchmarkDNSQueryVolumes regenerates the Umbrella-style passive-DNS
+// medians for single- vs multi-message landing domains.
+func BenchmarkDNSQueryVolumes(b *testing.B) {
+	run := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = run.DNSVolumes()
+	}
+}
+
+// BenchmarkDomainSyntaxAnalysis regenerates the deceptive-syntax census
+// (15.7% of landing domains in the paper).
+func BenchmarkDomainSyntaxAnalysis(b *testing.B) {
+	run := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = run.DomainSyntax()
+	}
+}
+
+// BenchmarkCloakingPrevalence regenerates the Section V-C evasion census.
+func BenchmarkCloakingPrevalence(b *testing.B) {
+	run := benchRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = run.CloakPrevalence()
+	}
+	b.StopTimer()
+	b.Log("\n" + run.RenderCloaks())
+}
+
+// BenchmarkChallengeServiceShare regenerates the Turnstile (74.4%) and
+// reCAPTCHA (24.8%) shares over credential-harvesting messages.
+func BenchmarkChallengeServiceShare(b *testing.B) {
+	run := benchRun(b)
+	b.ResetTimer()
+	var ts, rc float64
+	for i := 0; i < b.N; i++ {
+		ts, rc = run.TurnstileShare()
+	}
+	b.StopTimer()
+	b.Logf("Turnstile %.1f%% / reCAPTCHA %.1f%% (paper: 74.4%% / 24.8%%)", ts, rc)
+}
+
+// BenchmarkPipelineThroughput measures end-to-end message analysis
+// (Figure 1's pipeline): parse + crawl + classify + enrich per message.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	world := NewWorld(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC))
+	pipe, err := world.NewPipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := mime.NewBuilder("attacker@phish.ru", "victim@corp.example",
+		"Action required", time.Date(2024, 3, 1, 10, 0, 0, 0, time.UTC)).
+		Text("Please verify your account at https://nonexistent-host.example/login").
+		Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipe.AnalyzeMessage(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultyQRBug measures the faulty-QR extraction divergence: encode
+// a junk-prefixed payload, render, decode, and compare strict vs lenient
+// extraction (the Section V-C1 filter bug).
+func BenchmarkFaultyQRBug(b *testing.B) {
+	payload := "xxx https://evil-site.com/dhfYWfH"
+	var strictHits, lenientHits int
+	for i := 0; i < b.N; i++ {
+		m, err := qrcode.Encode(payload, qrcode.ECMedium)
+		if err != nil {
+			b.Fatal(err)
+		}
+		img, err := qrcode.Render(m, 4, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec, err := qrcode.DecodeImage(img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := urlx.ExtractStrictWhole(dec.Payload); ok {
+			strictHits++
+		}
+		if len(urlx.ExtractLenient(dec.Payload)) > 0 {
+			lenientHits++
+		}
+	}
+	b.StopTimer()
+	if strictHits != 0 || lenientHits != b.N {
+		b.Fatalf("strict=%d lenient=%d of %d: the divergence must hold", strictHits, lenientHits, b.N)
+	}
+}
+
+// BenchmarkHotLinkedResources measures referral-trail detection over the
+// analyzed corpus (the Section V-A early-warning signal).
+func BenchmarkHotLinkedResources(b *testing.B) {
+	run := benchRun(b)
+	b.ResetTimer()
+	var count int
+	for i := 0; i < b.N; i++ {
+		count = 0
+		for _, e := range run.Corpus.Net.Traffic() {
+			if e.Request.Path == "/assets/logo.png" && e.Request.Header("Referer") != "" {
+				count++
+			}
+		}
+	}
+	b.StopTimer()
+	b.Logf("hot-load referral requests observed: %d", count)
+}
+
+// BenchmarkNonTargetedBrands regenerates the Section V-B non-targeted brand
+// breakdown from corpus ground truth.
+func BenchmarkNonTargetedBrands(b *testing.B) {
+	run := benchRun(b)
+	b.ResetTimer()
+	var byBrand map[string]int
+	for i := 0; i < b.N; i++ {
+		byBrand = map[string]int{}
+		for _, d := range run.Corpus.Domains {
+			if !d.Spear {
+				byBrand[d.Brand]++
+			}
+		}
+	}
+	b.StopTimer()
+	b.Logf("non-targeted brand domains: %v", byBrand)
+}
+
+// BenchmarkAblationCrawlerChoice compares pipeline effectiveness across
+// crawler stacks: the same gated phishing site crawled by a basic headless
+// stack vs NotABot. The design point the paper's Table I motivates.
+func BenchmarkAblationCrawlerChoice(b *testing.B) {
+	for _, kind := range []crawler.Kind{crawler.PuppeteerStealth, crawler.NotABot} {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cell, err := crawler.RunAssessmentCell(kind, crawler.DetectorTurnstile, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = cell
+			}
+		})
+	}
+}
+
+// BenchmarkPerceptualHashing measures the screenshot classifier primitives.
+func BenchmarkPerceptualHashing(b *testing.B) {
+	img := imaging.MustNew(256, 192, imaging.White)
+	img.FillRect(0, 0, 256, 28, imaging.RGB{R: 20, G: 60, B: 140})
+	imaging.DrawText(img, 8, 10, "ACME TRAVELTECH", imaging.White)
+	b.Run("pHash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = imaging.PHash(img)
+		}
+	})
+	b.Run("dHash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = imaging.DHash(img)
+		}
+	})
+}
+
+// BenchmarkCorpusGeneration measures tenth-scale corpus generation.
+func BenchmarkCorpusGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.Generate(dataset.Config{Seed: int64(i + 1), Scale: 0.1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,126 @@
+// Command crawlerbox runs the analysis pipeline over .eml files.
+//
+// Messages can reference hosts that only exist inside the bundled simulated
+// world, so the tool first generates a corpus world (whose sites stay
+// deployed) and then analyzes either the corpus's own messages or .eml
+// files from a directory produced by mkdataset.
+//
+// Usage:
+//
+//	crawlerbox [-dir DIR] [-seed N] [-scale F] [-n N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"crawlerbox/internal/crawlerbox"
+	"crawlerbox/internal/dataset"
+	"crawlerbox/internal/phishkit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "crawlerbox:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dir := flag.String("dir", "", "directory of .eml files (default: analyze the generated corpus directly)")
+	seed := flag.Int64("seed", 42, "world/corpus seed (must match mkdataset for -dir)")
+	scale := flag.Float64("scale", 0.1, "world/corpus scale (must match mkdataset for -dir)")
+	limit := flag.Int("n", 10, "maximum messages to analyze (0 = all)")
+	flag.Parse()
+
+	corpus, err := dataset.Generate(dataset.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		return err
+	}
+	pipe := crawlerbox.New(corpus.Net, corpus.Registry)
+	for _, b := range phishkit.StudyBrands {
+		if err := pipe.AddReference(b.Name, corpus.BrandURLs[b.Name]); err != nil {
+			return err
+		}
+	}
+	corpus.Net.Clock.Set(time.Date(2024, 11, 1, 0, 0, 0, 0, time.UTC))
+
+	var messages [][]byte
+	var names []string
+	if *dir != "" {
+		entries, err := os.ReadDir(*dir)
+		if err != nil {
+			return err
+		}
+		var files []string
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".eml") {
+				files = append(files, e.Name())
+			}
+		}
+		sort.Strings(files)
+		for _, f := range files {
+			raw, err := os.ReadFile(filepath.Join(*dir, f))
+			if err != nil {
+				return err
+			}
+			messages = append(messages, raw)
+			names = append(names, f)
+		}
+	} else {
+		for i, m := range corpus.Messages {
+			messages = append(messages, m.Raw)
+			names = append(names, fmt.Sprintf("corpus-%05d", i))
+		}
+	}
+	if *limit > 0 && len(messages) > *limit {
+		messages = messages[:*limit]
+		names = names[:*limit]
+	}
+
+	for i, raw := range messages {
+		ma, err := pipe.AnalyzeMessage(raw)
+		if err != nil {
+			fmt.Printf("%-16s ERROR %v\n", names[i], err)
+			continue
+		}
+		line := fmt.Sprintf("%-16s %-20s urls=%d", names[i], ma.Outcome, len(ma.Parse.URLs))
+		if ma.SpearPhish {
+			line += " spear[" + ma.Brand + "]"
+		}
+		if ma.Landing != nil {
+			line += " landing=" + ma.Landing.Host
+		}
+		if cloaks := cloakSummary(ma); cloaks != "" {
+			line += " cloaks={" + cloaks + "}"
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func cloakSummary(ma *crawlerbox.MessageAnalysis) string {
+	c := ma.Cloaks
+	var parts []string
+	for _, kv := range []struct {
+		name string
+		on   bool
+	}{
+		{"turnstile", c.Turnstile}, {"recaptcha", c.ReCaptcha},
+		{"token", c.TokenizedURL}, {"victim", c.VictimCheck},
+		{"otp", c.OTPPrompt}, {"math", c.MathChallenge},
+		{"console", c.ConsoleHijack}, {"debugger", c.DebuggerTimer},
+		{"hue", c.HueRotate}, {"fpgate", c.FingerprintGate},
+		{"faultyqr", ma.Parse.FaultyQR}, {"noise", ma.Parse.NoisePadded},
+	} {
+		if kv.on {
+			parts = append(parts, kv.name)
+		}
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,49 @@
+// Command fingerprinttest reproduces the Table I experiment: every crawler
+// in the fleet visits a BotD-instrumented page, a Turnstile-gated site, and
+// an AnonWAF-protected origin; the services' verdict logs fill the matrix.
+//
+// Usage:
+//
+//	fingerprinttest [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"crawlerbox/internal/crawler"
+	"crawlerbox/internal/report"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print detection reasons per cell")
+	flag.Parse()
+
+	a, err := crawler.RunAssessment()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fingerprinttest:", err)
+		os.Exit(1)
+	}
+	fmt.Println(report.RenderTable1(a))
+	if *verbose {
+		for _, k := range crawler.AllKinds {
+			for _, d := range crawler.AllDetectors {
+				cell := a.Cell(k, d)
+				if cell.Passed {
+					continue
+				}
+				fmt.Printf("%-24s vs %-10s detected: %s\n",
+					k, d, strings.Join(cell.Reasons, ", "))
+			}
+		}
+	}
+	var winners []string
+	for _, k := range crawler.AllKinds {
+		if a.PassesAll(k) {
+			winners = append(winners, k.String())
+		}
+	}
+	fmt.Printf("\ncrawlers evading all detectors: %s\n", strings.Join(winners, ", "))
+}

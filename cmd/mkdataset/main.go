@@ -1,0 +1,58 @@
+// Command mkdataset generates the calibrated synthetic corpus and writes
+// each message as an .eml file plus a tab-separated ground-truth manifest —
+// the shareable stand-in for the study's proprietary dataset.
+//
+// Usage:
+//
+//	mkdataset -out DIR [-seed N] [-scale F]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"crawlerbox/internal/dataset"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mkdataset:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "", "output directory (required)")
+	seed := flag.Int64("seed", 42, "generation seed")
+	scale := flag.Float64("scale", 0.1, "corpus scale (1.0 = 5,181 messages)")
+	flag.Parse()
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	c, err := dataset.Generate(dataset.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		return err
+	}
+	manifest, err := os.Create(filepath.Join(*out, "manifest.tsv"))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = manifest.Close() }()
+	fmt.Fprintln(manifest, "file\tdelivered\tcategory\tspear\tbrand\turl")
+	for i, m := range c.Messages {
+		name := fmt.Sprintf("msg-%05d.eml", i)
+		if err := os.WriteFile(filepath.Join(*out, name), m.Raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(manifest, "%s\t%s\t%s\t%v\t%s\t%s\n",
+			name, m.Delivered.Format("2006-01-02T15:04:05Z"),
+			m.Category, m.Spear, m.Brand, m.URL)
+	}
+	fmt.Printf("wrote %d messages and manifest.tsv to %s\n", len(c.Messages), *out)
+	return nil
+}

@@ -1,0 +1,78 @@
+// Command report regenerates every table and figure of the paper's
+// evaluation: it builds the calibrated synthetic corpus, runs the CrawlerBox
+// pipeline over all of it, and prints the aggregations.
+//
+// Usage:
+//
+//	report [-seed N] [-scale F] [-only table1|table2|fig2|fig3|disposition|spear|nontargeted|cloaks]
+//
+// At -scale 1.0 (the default) the corpus holds 5,181 messages and the full
+// run takes a few seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crawlerbox/internal/crawler"
+	"crawlerbox/internal/dataset"
+	"crawlerbox/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 42, "corpus generation seed")
+	scale := flag.Float64("scale", 1.0, "corpus scale (1.0 = 5,181 messages)")
+	only := flag.String("only", "", "print a single artifact: table1|table2|fig2|fig3|disposition|spear|nontargeted|cloaks")
+	flag.Parse()
+
+	if *only == "table1" || *only == "" {
+		fmt.Println("Running Table I crawler assessment...")
+		a, err := crawler.RunAssessment()
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.RenderTable1(a))
+		if *only == "table1" {
+			return nil
+		}
+	}
+
+	fmt.Printf("Generating corpus (seed=%d scale=%.2f)...\n", *seed, *scale)
+	c, err := dataset.Generate(dataset.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Analyzing %d messages with CrawlerBox...\n\n", len(c.Messages))
+	run, err := report.Analyze(c)
+	if err != nil {
+		return err
+	}
+
+	artifacts := []struct {
+		key  string
+		text func() string
+	}{
+		{"disposition", run.RenderDisposition},
+		{"fig2", run.RenderFigure2},
+		{"table2", run.RenderTable2},
+		{"fig3", run.RenderFigure3},
+		{"spear", run.RenderSpear},
+		{"nontargeted", run.RenderNonTargeted},
+		{"cloaks", run.RenderCloaks},
+	}
+	for _, a := range artifacts {
+		if *only != "" && *only != a.key {
+			continue
+		}
+		fmt.Println(a.text())
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+// cloakedsite deploys a phishing site behind the full evasion stack —
+// Turnstile challenge, tokenized URL, console hijack, hue-rotation — and
+// crawls it with three stacks from the paper's Table I: a curl-style
+// fetcher, Puppeteer+stealth, and NotABot. Only NotABot reaches the
+// credential form.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"crawlerbox/internal/botdetect"
+	"crawlerbox/internal/crawler"
+	"crawlerbox/internal/htmlx"
+	"crawlerbox/internal/phishkit"
+	"crawlerbox/internal/webnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cloakedsite:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net := webnet.NewInternet(webnet.NewClock(time.Date(2024, 5, 1, 9, 0, 0, 0, time.UTC)))
+	ts := botdetect.NewTurnstile(net, "turnstile.example")
+	site := phishkit.Deploy(net, phishkit.SiteConfig{
+		Host:          "onedrive-share-docs.click",
+		Brand:         phishkit.BrandOneDrive,
+		Turnstile:     ts,
+		Tokens:        []string{"dhfYWfH"},
+		ConsoleHijack: true,
+		HueRotateDeg:  4,
+	})
+	fmt.Println("=== Cloaked phishing site vs the crawler fleet ===")
+	fmt.Println("landing URL:", site.LandingURL)
+	fmt.Println()
+
+	// 1. A curl-style scanner: no JavaScript at all.
+	resp, err := net.Do(&webnet.Request{
+		Method: "GET", Host: "onedrive-share-docs.click", Path: "/login",
+		RawQuery: "t=dhfYWfH",
+		Headers:  map[string]string{"User-Agent": "curl/8.5", "Accept-Language": "en"},
+		ClientIP: net.AllocateIP(webnet.IPDatacenter), TLSFingerprint: "771,curl",
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("curl-style fetcher:   status %d, page shows challenge, no JS -> stuck\n", resp.Status)
+
+	// 2. Puppeteer + stealth plugin (headless).
+	stealth := crawler.NewHeadless(crawler.PuppeteerStealth, net, webnet.IPMobile, 1, true)
+	res, err := stealth.Visit(site.LandingURL)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("puppeteer+stealth:    reached %q, password form: %v\n",
+		res.FinalURL, htmlx.HasPasswordInput(res.DOM))
+
+	// 3. NotABot.
+	notabot := crawler.New(crawler.NotABot, net, webnet.IPMobile, 2)
+	res, err = notabot.Visit(site.LandingURL)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("NotABot:              reached %q, password form: %v\n",
+		res.FinalURL, htmlx.HasPasswordInput(res.DOM))
+	fmt.Printf("                      scripts executed: %d, console hijacked (no output): %v\n",
+		len(res.Scripts), len(res.Console) == 0)
+	fmt.Println()
+	fmt.Println("Only a crawler whose fingerprint is indistinguishable from a")
+	fmt.Println("human-operated browser sees the credential form — the premise")
+	fmt.Println("of the paper's NotABot design.")
+	return nil
+}

@@ -1,0 +1,68 @@
+// qrevasion demonstrates the faulty-QR filter bug discovered by the paper
+// (Section V-C1): a QR code whose payload carries junk before the URL
+// ("xxx https://evil-site.com/") defeats email filters that validate the
+// whole decoded payload as a URL, while phone cameras happily extract and
+// open the link.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"crawlerbox/internal/qrcode"
+	"crawlerbox/internal/urlx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qrevasion:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	payloads := []string{
+		"https://evil-site.com/dhfYWfH",     // a normal malicious QR
+		"xxx https://evil-site.com/dhfYWfH", // the faulty variant
+		"[https://evil-site.com/dhfYWfH",    // the bracket variant
+	}
+	fmt.Println("=== Faulty QR code filter evasion ===")
+	fmt.Println()
+	for _, payload := range payloads {
+		// The attacker encodes the payload...
+		m, err := qrcode.Encode(payload, qrcode.ECMedium)
+		if err != nil {
+			return err
+		}
+		img, err := qrcode.Render(m, 4, 4)
+		if err != nil {
+			return err
+		}
+		// ...the email filter decodes the image and validates strictly...
+		dec, err := qrcode.DecodeImage(img)
+		if err != nil {
+			return err
+		}
+		filterURL, filterOK := urlx.ExtractStrictWhole(dec.Payload)
+		// ...the victim's phone camera extracts leniently.
+		phone := urlx.ExtractLenient(dec.Payload)
+
+		fmt.Printf("QR payload: %q (version %d)\n", payload, m.Version)
+		if filterOK {
+			fmt.Printf("  email filter:  extracted %q  -> link gets scanned\n", filterURL)
+		} else {
+			fmt.Printf("  email filter:  NO URL FOUND     -> message classified benign\n")
+		}
+		if len(phone) > 0 {
+			fmt.Printf("  phone camera:  opens %q (junk prefix: %v)\n",
+				phone[0].URL, phone[0].JunkPrefix)
+		}
+		evaded := !filterOK && len(phone) > 0
+		fmt.Printf("  filter evaded: %v\n\n", evaded)
+	}
+	fmt.Println("The mismatch between strict filter parsing and lenient mobile")
+	fmt.Println("extraction leaves users exposed: the filter sees nothing, the")
+	fmt.Println("phone opens the phishing page over the mobile network, outside")
+	fmt.Println("the corporate security perimeter.")
+	return nil
+}

@@ -1,0 +1,93 @@
+// Quickstart: build a simulated world, deploy a cloaked spear-phishing
+// site, compose the lure email, and run one message through the full
+// CrawlerBox pipeline.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	crawlerboxgo "crawlerbox"
+	"crawlerbox/internal/mime"
+	"crawlerbox/internal/phishkit"
+	"crawlerbox/internal/webnet"
+	"crawlerbox/internal/whois"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	start := time.Date(2024, 3, 1, 8, 0, 0, 0, time.UTC)
+	world := crawlerboxgo.NewWorld(start)
+
+	// The attacker registered the landing domain 30 days ago (past the
+	// "new domain" reputation window is their goal) and deploys a clone of
+	// the ACME TravelTech login page behind the Turnstile-style challenge.
+	site := phishkit.Deploy(world.Net, phishkit.SiteConfig{
+		Host:               "acmetraveltech-sso.buzz",
+		Brand:              phishkit.BrandAcmeTravelTech,
+		Turnstile:          world.Turnstile,
+		HotLoadBrandAssets: true,
+		ConsoleHijack:      true,
+	})
+	world.Registry.Register(whois.Record{
+		Domain:     "acmetraveltech-sso.buzz",
+		Registrar:  "REGRU-RU",
+		Registered: start.Add(-30 * 24 * time.Hour),
+		Provenance: whois.ProvenanceFresh,
+	})
+	world.Net.IssueCert("acmetraveltech-sso.buzz", "LetsEncrypt", start.Add(-8*24*time.Hour))
+
+	// The lure, as a real RFC-5322 message.
+	raw := mime.NewBuilder("it-support@notices-mail.ru", "employee@corp.example",
+		"Action required: password expiry", start).
+		Text("Your password expires today. Renew it immediately: " + site.LandingURL).
+		Build()
+
+	// Analyze it.
+	pipe, err := world.NewPipeline()
+	if err != nil {
+		return err
+	}
+	world.Net.Clock.Advance(2 * time.Hour) // analysis happens after delivery
+	ma, err := pipe.AnalyzeMessage(raw)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("=== CrawlerBox quickstart ===")
+	fmt.Println("subject:      ", ma.Parse.Subject)
+	fmt.Println("auth (SPF/DKIM/DMARC) passed:", ma.Parse.Auth.PassesAuth())
+	fmt.Println("extracted URLs:", len(ma.Parse.URLs))
+	fmt.Println("outcome:      ", ma.Outcome)
+	fmt.Println("spear phish:  ", ma.SpearPhish, "brand:", ma.Brand)
+	if ma.Landing != nil {
+		fmt.Println("landing host: ", ma.Landing.Host)
+		fmt.Println("landing TLD:  ", ma.Landing.TLD)
+		if ma.Landing.Whois != nil {
+			age := ma.AnalyzedAt.Sub(ma.Landing.Whois.Registered).Hours() / 24
+			fmt.Printf("domain age:    %.0f days (registrar %s)\n", age, ma.Landing.Whois.Registrar)
+		}
+	}
+	fmt.Printf("cloaks:        turnstile=%v consoleHijack=%v\n",
+		ma.Cloaks.Turnstile, ma.Cloaks.ConsoleHijack)
+	// Finally, the part CrawlerBox exists to prevent: a victim who clicks
+	// through and submits credentials.
+	_, err = world.Net.Do(&webnet.Request{
+		Method: "POST", Host: "acmetraveltech-sso.buzz", Path: "/session",
+		Body:     "email=employee%40corp.example&password=Correct.Horse.7",
+		Headers:  map[string]string{"User-Agent": "Mozilla/5.0"},
+		ClientIP: world.Net.AllocateIP(webnet.IPResidential),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("credentials harvested by the kit:", len(site.Harvested))
+	return nil
+}

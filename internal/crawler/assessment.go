@@ -1,0 +1,158 @@
+package crawler
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"crawlerbox/internal/botdetect"
+	"crawlerbox/internal/webnet"
+)
+
+// DetectorName identifies one Table I row.
+type DetectorName string
+
+// The three detectors of Table I.
+const (
+	DetectorBotD      DetectorName = "BotD"
+	DetectorTurnstile DetectorName = "Turnstile"
+	DetectorAnonWAF   DetectorName = "AnonWAF"
+)
+
+// AllDetectors lists Table I rows in order.
+var AllDetectors = []DetectorName{DetectorBotD, DetectorTurnstile, DetectorAnonWAF}
+
+// CellResult is one cell of the assessment matrix.
+type CellResult struct {
+	Crawler  Kind
+	Detector DetectorName
+	// Passed is true when the crawler evaded detection.
+	Passed bool
+	// Reasons lists why the detector flagged the crawler, when it did.
+	Reasons []string
+	// HeadlessOnlyFail marks the BotD footnote case: the crawler passes
+	// non-headless but fails headless.
+	HeadlessOnlyFail bool
+}
+
+// Assessment is the full Table I matrix.
+type Assessment struct {
+	Cells map[Kind]map[DetectorName]CellResult
+}
+
+// Cell returns one matrix cell.
+func (a *Assessment) Cell(k Kind, d DetectorName) CellResult {
+	return a.Cells[k][d]
+}
+
+// PassesAll reports whether a crawler evaded every detector.
+func (a *Assessment) PassesAll(k Kind) bool {
+	for _, d := range AllDetectors {
+		if !a.Cells[k][d].Passed {
+			return false
+		}
+	}
+	return true
+}
+
+// RunAssessment reproduces the Table I experiment: every crawler in the
+// fleet visits a BotD-instrumented page, a Turnstile-gated site, and an
+// AnonWAF-protected origin, all from the same mobile egress class (the
+// paper's 4G modem), and each service's logs supply the verdicts.
+func RunAssessment() (*Assessment, error) {
+	out := &Assessment{Cells: map[Kind]map[DetectorName]CellResult{}}
+	seed := int64(1)
+	for _, kind := range AllKinds {
+		out.Cells[kind] = map[DetectorName]CellResult{}
+		for _, det := range AllDetectors {
+			// Fresh world per cell: verdict logs and cookie jars must not
+			// leak between runs.
+			cell, err := runCell(kind, det, seed, defaultHeadless(kind))
+			if err != nil {
+				return nil, fmt.Errorf("assessing %s vs %s: %w", kind, det, err)
+			}
+			// The BotD footnote: the paper marks undetected_chromedriver
+			// as passing only in non-headless mode; probe that variant.
+			if det == DetectorBotD && cell.Passed && kind == UndetectedChromedriver {
+				headlessCell, err := runCell(kind, det, seed+1000, true)
+				if err != nil {
+					return nil, fmt.Errorf("assessing %s vs %s (headless): %w", kind, det, err)
+				}
+				cell.HeadlessOnlyFail = !headlessCell.Passed
+			}
+			out.Cells[kind][det] = cell
+			seed++
+		}
+	}
+	return out, nil
+}
+
+// RunAssessmentCell runs a single crawler against a single detector in a
+// fresh isolated world — the unit the ablation benchmarks time.
+func RunAssessmentCell(kind Kind, det DetectorName, seed int64) (CellResult, error) {
+	return runCell(kind, det, seed, defaultHeadless(kind))
+}
+
+// runCell runs one crawler against one detector in an isolated world.
+func runCell(kind Kind, det DetectorName, seed int64, headless bool) (CellResult, error) {
+	net := webnet.NewInternet(webnet.NewClock(time.Date(2024, 1, 15, 9, 0, 0, 0, time.UTC)))
+	c := NewHeadless(kind, net, webnet.IPMobile, seed, headless)
+	cell := CellResult{Crawler: kind, Detector: det}
+	switch det {
+	case DetectorBotD:
+		botd := botdetect.NewBotD(net, "botd.test")
+		serveStatic(net, "botd-page.test",
+			`<html><body><script src="https://botd.test/botd.js"></script></body></html>`)
+		_, _ = c.Visit("https://botd-page.test/")
+		v := botd.VerdictFor(c.Browser.ClientIP)
+		cell.Passed = !v.Bot
+		cell.Reasons = v.Reasons
+	case DetectorTurnstile:
+		ts := botdetect.NewTurnstile(net, "turnstile.test")
+		gateIP := net.AllocateIP(webnet.IPDatacenter)
+		net.AddDNS("gated.test", gateIP)
+		net.Serve("gated.test", func(req *webnet.Request) *webnet.Response {
+			if req.Path == "/content" && ts.ValidToken(queryValue(req.RawQuery, "tok")) {
+				return &webnet.Response{Status: 200, Body: []byte("<html><body>cleared</body></html>")}
+			}
+			return &webnet.Response{Status: 200, Body: []byte(ts.GateHTML("/content", "tok"))}
+		})
+		_, _ = c.Visit("https://gated.test/")
+		v := ts.VerdictFor(c.Browser.ClientIP)
+		cell.Passed = !v.Bot
+		cell.Reasons = v.Reasons
+	case DetectorAnonWAF:
+		waf := botdetect.NewAnonWAF("waf-origin.test")
+		originIP := net.AllocateIP(webnet.IPDatacenter)
+		net.AddDNS("waf-origin.test", originIP)
+		net.Serve("waf-origin.test", waf.Wrap(func(*webnet.Request) *webnet.Response {
+			return &webnet.Response{Status: 200, Body: []byte("<html><body>origin</body></html>")}
+		}))
+		_, _ = c.Visit("https://waf-origin.test/")
+		v := waf.VerdictFor(c.Browser.ClientIP)
+		cell.Passed = !v.Bot
+		cell.Reasons = v.Reasons
+	default:
+		return cell, fmt.Errorf("unknown detector %q", det)
+	}
+	return cell, nil
+}
+
+func serveStatic(net *webnet.Internet, host, html string) {
+	ip := net.AllocateIP(webnet.IPDatacenter)
+	net.AddDNS(host, ip)
+	net.Serve(host, func(*webnet.Request) *webnet.Response {
+		return &webnet.Response{Status: 200, Body: []byte(html),
+			Headers: map[string]string{"Content-Type": "text/html"}}
+	})
+}
+
+func queryValue(raw, key string) string {
+	for _, kv := range strings.Split(raw, "&") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) == 2 && parts[0] == key {
+			return parts[1]
+		}
+	}
+	return ""
+}

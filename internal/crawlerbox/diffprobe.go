@@ -1,0 +1,99 @@
+package crawlerbox
+
+import (
+	"crawlerbox/internal/browser"
+	"crawlerbox/internal/htmlx"
+	"crawlerbox/internal/imaging"
+	"crawlerbox/internal/webnet"
+)
+
+// DifferentialProbe implements the defense the paper's discussion proposes:
+// detect URLs whose behavior changes with the visitor's fingerprint by
+// crawling the same URL twice — once with a human-indistinguishable profile
+// and once with an overtly automated one — and diffing the outcomes. A page
+// that shows a credential form to the "human" but a decoy to the "bot" is
+// fingerprint-cloaked by construction, regardless of which specific check
+// it runs.
+type DifferentialProbe struct {
+	// HumanVisit / BotVisit are the two observations.
+	HumanVisit *browser.Result
+	BotVisit   *browser.Result
+	// Cloaked is true when the two observations diverge materially.
+	Cloaked bool
+	// Evidence lists the divergences found.
+	Evidence []string
+}
+
+// RunDifferentialProbe crawls url with a NotABot profile and a headless
+// automation profile and compares what each was served.
+func (p *Pipeline) RunDifferentialProbe(url string) (*DifferentialProbe, error) {
+	p.seed++
+	human := p.NewBrowser(p.seed)
+
+	p.seed++
+	botProfile := browser.HumanChrome()
+	botProfile.Name = "probe-bot"
+	botProfile.WebdriverFlag = true
+	botProfile.Headless = true
+	botProfile.GPURenderer = "Google SwiftShader"
+	botProfile.PluginCount = 0
+	botProfile.PluginNames = nil
+	botProfile.ChromeObject = false
+	botProfile.MouseMovement = false
+	botProfile.TrustedEvents = false
+	// Datacenter scanners run UTC with a bare language set — exactly the
+	// environment-coherence signals the fingerprint gates key on.
+	botProfile.Timezone = "UTC"
+	botProfile.TimezoneOffset = 0
+	botProfile.Language = "en"
+	botProfile.Languages = []string{"en"}
+	bot := browser.New(p.Net, botProfile, p.Net.AllocateIP(webnet.IPDatacenter), p.seed)
+
+	humanRes, humanErr := human.Visit(url)
+	botRes, botErr := bot.Visit(url)
+
+	probe := &DifferentialProbe{HumanVisit: humanRes, BotVisit: botRes}
+	switch {
+	case humanErr != nil && botErr != nil:
+		return probe, humanErr
+	case humanErr == nil && botErr != nil:
+		probe.Cloaked = true
+		probe.Evidence = append(probe.Evidence, "bot visit failed where human visit succeeded")
+		return probe, nil
+	case humanErr != nil:
+		return probe, humanErr
+	}
+
+	humanForm := hasPhishForm(humanRes)
+	botForm := hasPhishForm(botRes)
+	if humanForm != botForm {
+		probe.Cloaked = true
+		probe.Evidence = append(probe.Evidence, "credential form shown only to the human profile")
+	}
+	if humanRes.FinalURL != botRes.FinalURL {
+		probe.Cloaked = true
+		probe.Evidence = append(probe.Evidence, "navigation diverged: human="+
+			humanRes.FinalURL+" bot="+botRes.FinalURL)
+	}
+	if humanRes.Screenshot != nil && botRes.Screenshot != nil {
+		ok, dp, dd := p.Matcher.Match(imaging.Sign(humanRes.Screenshot), imaging.Sign(botRes.Screenshot))
+		if !ok {
+			probe.Cloaked = true
+			probe.Evidence = append(probe.Evidence, "rendered pages differ visually")
+			_ = dp
+			_ = dd
+		}
+	}
+	if textOf(humanRes.DOM) != textOf(botRes.DOM) && !probe.Cloaked {
+		probe.Cloaked = true
+		probe.Evidence = append(probe.Evidence, "page text differs between profiles")
+	}
+	return probe, nil
+}
+
+func textOf(doc *htmlx.Node) string {
+	if doc == nil {
+		return ""
+	}
+	return doc.InnerText()
+}

@@ -1,0 +1,526 @@
+package crawlerbox
+
+import (
+	"errors"
+	neturl "net/url"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"crawlerbox/internal/browser"
+	"crawlerbox/internal/htmlx"
+	"crawlerbox/internal/imaging"
+	"crawlerbox/internal/urlx"
+	"crawlerbox/internal/webnet"
+	"crawlerbox/internal/whois"
+)
+
+// ReferencePage is one protected login page the classifier matches against.
+type ReferencePage struct {
+	Brand string
+	Sig   imaging.Signature
+}
+
+// Pipeline is the CrawlerBox analysis pipeline. The crawler component is
+// pluggable (the paper stresses this modularity); NewBrowser supplies a
+// fresh instance per message so cookie state never leaks between analyses.
+type Pipeline struct {
+	Net   *webnet.Internet
+	Whois *whois.Registry
+	// NewBrowser returns the crawler for one message analysis.
+	NewBrowser func(seed int64) *browser.Browser
+	// References are the brands' legitimate login-page signatures.
+	References []ReferencePage
+	// Matcher holds the fuzzy-hash thresholds.
+	Matcher imaging.FuzzyMatcher
+	// OCRMinScore tunes the OCR glyph matcher (0 = default).
+	OCRMinScore float64
+
+	seed int64
+}
+
+// New returns a pipeline using a NotABot crawler on a mobile egress IP.
+func New(net *webnet.Internet, registry *whois.Registry) *Pipeline {
+	p := &Pipeline{
+		Net:     net,
+		Whois:   registry,
+		Matcher: imaging.DefaultMatcher(),
+	}
+	p.NewBrowser = func(seed int64) *browser.Browser {
+		return browser.New(net, browser.NotABot(), net.AllocateIP(webnet.IPMobile), seed)
+	}
+	return p
+}
+
+func (p *Pipeline) ocrMinScore() float64 {
+	if p.OCRMinScore > 0 {
+		return p.OCRMinScore
+	}
+	return 0.9
+}
+
+// AddReference registers a protected login page by visiting it and signing
+// its screenshot.
+func (p *Pipeline) AddReference(brand, loginURL string) error {
+	br := p.newBrowser()
+	res, err := br.Visit(loginURL)
+	if err != nil {
+		return err
+	}
+	p.References = append(p.References, ReferencePage{Brand: brand, Sig: imaging.Sign(res.Screenshot)})
+	return nil
+}
+
+func (p *Pipeline) newBrowser() *browser.Browser {
+	p.seed++
+	return p.NewBrowser(p.seed)
+}
+
+// Outcome is the disposition of one analyzed message (the Section V
+// categories).
+type Outcome int
+
+// Message dispositions.
+const (
+	OutcomeNoResource Outcome = iota + 1
+	OutcomeError
+	OutcomeInteraction
+	OutcomeDownload
+	OutcomeActivePhish
+	OutcomeCloaked
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeNoResource:
+		return "no-web-resource"
+	case OutcomeError:
+		return "error-page"
+	case OutcomeInteraction:
+		return "interaction-required"
+	case OutcomeDownload:
+		return "file-download"
+	case OutcomeActivePhish:
+		return "active-phishing"
+	case OutcomeCloaked:
+		return "cloaked-benign"
+	default:
+		return "unknown"
+	}
+}
+
+// VisitRecord is one crawled URL with its result.
+type VisitRecord struct {
+	URL    string
+	Result *browser.Result
+	Err    error
+}
+
+// LandingInfo is the enrichment bundle for the landing domain.
+type LandingInfo struct {
+	URL         string
+	Host        string
+	Registrable string
+	TLD         string
+	IP          string
+	// Banner is the Shodan-style service banner of the landing IP.
+	Banner string
+	Whois  *whois.Record
+	Cert   *webnet.Certificate
+	// DNS30DayTotal / DNSMaxDaily summarize passive-DNS volume over the
+	// 30 days before analysis (the Umbrella join).
+	DNS30DayTotal int
+	DNSMaxDaily   int
+}
+
+// CloakCensus records which evasion techniques were observed for a message.
+type CloakCensus struct {
+	Turnstile        bool
+	ReCaptcha        bool
+	FingerprintGate  bool
+	InteractionGate  bool
+	DelayedReveal    bool
+	OTPPrompt        bool
+	MathChallenge    bool
+	ConsoleHijack    bool
+	DebuggerTimer    bool
+	DevtoolsBlocking bool
+	HueRotate        bool
+	VictimCheck      bool
+	FingerprintLib   bool
+	ExfilHTTPBin     bool
+	ExfilIPAPI       bool
+	TokenizedURL     bool
+}
+
+// MessageAnalysis is everything CrawlerBox logs for one message.
+type MessageAnalysis struct {
+	Parse       *ParseResult
+	Visits      []VisitRecord
+	Outcome     Outcome
+	SpearPhish  bool
+	Brand       string
+	Landing     *LandingInfo
+	Cloaks      CloakCensus
+	HotLoadsRef bool // page hot-loads assets from the impersonated brand
+	AnalyzedAt  time.Time
+}
+
+// AnalyzeMessage runs the full pipeline for one raw message.
+func (p *Pipeline) AnalyzeMessage(raw []byte) (*MessageAnalysis, error) {
+	parse, err := p.ParseMessage(raw)
+	if err != nil {
+		return nil, err
+	}
+	ma := &MessageAnalysis{Parse: parse, AnalyzedAt: p.Net.Clock.Now()}
+
+	if parse.ZIPWithHTA {
+		ma.Outcome = OutcomeDownload
+		return ma, nil
+	}
+	if len(parse.URLs) == 0 && len(parse.HTMLAttachments) == 0 {
+		ma.Outcome = OutcomeNoResource
+		return ma, nil
+	}
+
+	// Crawl every extracted URL.
+	for _, u := range parse.URLs {
+		p.crawlOne(ma, u.URL)
+	}
+	// Load HTML attachments locally (the Section V-B vector).
+	for _, att := range parse.HTMLAttachments {
+		br := p.newBrowser()
+		res, err := br.LoadHTML(att.Content, att.Filename)
+		ma.Visits = append(ma.Visits, VisitRecord{URL: "file:///" + att.Filename, Result: res, Err: err})
+	}
+
+	p.classify(ma)
+	p.census(ma)
+	p.enrich(ma)
+	return ma, nil
+}
+
+// crawlOne visits a URL and, when gates are recognized, performs the
+// pipeline's automated interaction steps (math-challenge solving, OTP entry
+// with codes recovered from the message, token-strip probing).
+func (p *Pipeline) crawlOne(ma *MessageAnalysis, rawURL string) {
+	br := p.newBrowser()
+	res, err := br.Visit(rawURL)
+	ma.Visits = append(ma.Visits, VisitRecord{URL: rawURL, Result: res, Err: err})
+	if err != nil || res == nil || res.DOM == nil {
+		return
+	}
+	// Math challenge: solve the trivial equation with custom code.
+	if target, ok := solveMathChallenge(res); ok {
+		ma.Cloaks.MathChallenge = true
+		next := resolveRef(res.FinalURL, target)
+		res2, err2 := p.newBrowser().Visit(next)
+		ma.Visits = append(ma.Visits, VisitRecord{URL: next, Result: res2, Err: err2})
+	}
+	// OTP prompt: try access codes recovered from the message text.
+	if pageHasOTPPrompt(res.DOM) {
+		ma.Cloaks.OTPPrompt = true
+		for _, code := range ma.Parse.OTPCodes {
+			next := appendQuery(res.FinalURL, "otp="+code)
+			res2, err2 := p.newBrowser().Visit(next)
+			ma.Visits = append(ma.Visits, VisitRecord{URL: next, Result: res2, Err: err2})
+			if res2 != nil && res2.DOM != nil && htmlx.HasPasswordInput(res2.DOM) {
+				break
+			}
+		}
+	}
+	// Token-strip probe: visit the bare URL to expose tokenized cloaking.
+	if u, perr := neturl.Parse(rawURL); perr == nil && (u.RawQuery != "" || u.Fragment != "") {
+		bare := *u
+		bare.RawQuery = ""
+		bare.Fragment = ""
+		res3, err3 := p.newBrowser().Visit(bare.String())
+		if err3 == nil && res3 != nil && res3.DOM != nil {
+			full := res.DOM
+			if htmlx.HasPasswordInput(full) && !htmlx.HasPasswordInput(res3.DOM) {
+				ma.Cloaks.TokenizedURL = true
+			}
+		}
+	}
+}
+
+// classify derives the message outcome from the crawl results.
+func (p *Pipeline) classify(ma *MessageAnalysis) {
+	var sawPhish, sawInteraction, sawBenign, sawError bool
+	var phishVisit *VisitRecord
+	for i := range ma.Visits {
+		v := &ma.Visits[i]
+		switch {
+		case v.Err != nil || v.Result == nil || v.Result.DOM == nil:
+			sawError = true
+		case v.Result.Status >= 400:
+			sawError = true
+		case hasPhishForm(v.Result):
+			sawPhish = true
+			if phishVisit == nil {
+				phishVisit = v
+			}
+		case pageRequiresInteraction(v.Result.DOM):
+			sawInteraction = true
+		default:
+			sawBenign = true
+		}
+	}
+	switch {
+	case sawPhish:
+		ma.Outcome = OutcomeActivePhish
+		p.classifySpearPhish(ma, phishVisit)
+	case sawInteraction:
+		ma.Outcome = OutcomeInteraction
+	case sawError && !sawBenign:
+		ma.Outcome = OutcomeError
+	case sawBenign:
+		ma.Outcome = OutcomeCloaked
+	default:
+		ma.Outcome = OutcomeError
+	}
+}
+
+// classifySpearPhish matches the phishing screenshot against the protected
+// brands' reference pages.
+func (p *Pipeline) classifySpearPhish(ma *MessageAnalysis, v *VisitRecord) {
+	if v.Result.Screenshot == nil {
+		return
+	}
+	sig := imaging.Sign(v.Result.Screenshot)
+	for _, ref := range p.References {
+		if ok, _, _ := p.Matcher.Match(sig, ref.Sig); ok {
+			ma.SpearPhish = true
+			ma.Brand = ref.Brand
+			break
+		}
+	}
+}
+
+// hasPhishForm reports a credential form in the document or its frames.
+func hasPhishForm(res *browser.Result) bool {
+	if htmlx.HasPasswordInput(res.DOM) {
+		return true
+	}
+	for _, f := range res.Frames {
+		if htmlx.HasPasswordInput(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// pageRequiresInteraction spots unsolvable gates: traditional image
+// CAPTCHAs, shared-document services, or challenge prompts.
+func pageRequiresInteraction(doc *htmlx.Node) bool {
+	text := strings.ToLower(doc.InnerText())
+	for _, marker := range []string{
+		"select all images", "shared a document", "view shared file",
+		"enter the access code", "verify you are human", "i'm not a robot",
+		"checking your browser",
+	} {
+		if strings.Contains(text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func pageHasOTPPrompt(doc *htmlx.Node) bool {
+	if htmlx.FindByID(doc, "otp") != nil {
+		return true
+	}
+	return strings.Contains(strings.ToLower(doc.InnerText()), "access code")
+}
+
+var _mathRe = regexp.MustCompile(`what is (\d+) \+ (\d+)`)
+var _redirectRe = regexp.MustCompile(`location\.href = "([^"]+)"`)
+
+// solveMathChallenge recognizes the custom challenge-response gate, solves
+// the equation, and returns the redirect target.
+func solveMathChallenge(res *browser.Result) (string, bool) {
+	text := strings.ToLower(res.DOM.InnerText())
+	m := _mathRe.FindStringSubmatch(text)
+	if m == nil {
+		return "", false
+	}
+	a, _ := strconv.Atoi(m[1])
+	b, _ := strconv.Atoi(m[2])
+	_ = a + b // the gate compares client-side; we follow its redirect
+	for _, script := range res.Scripts {
+		if r := _redirectRe.FindStringSubmatch(script); r != nil {
+			return r[1], true
+		}
+	}
+	return "", false
+}
+
+// census inspects loaded scripts and traffic for evasion techniques.
+func (p *Pipeline) census(ma *MessageAnalysis) {
+	for _, v := range ma.Visits {
+		if v.Result == nil {
+			continue
+		}
+		for _, script := range v.Result.Scripts {
+			censusScript(&ma.Cloaks, script)
+		}
+		for _, req := range v.Result.Requests {
+			censusRequest(&ma.Cloaks, req.URL)
+		}
+		if v.Result.DOM != nil && pageHasOTPPrompt(v.Result.DOM) {
+			ma.Cloaks.OTPPrompt = true
+		}
+	}
+}
+
+func censusScript(c *CloakCensus, script string) {
+	switch {
+	case strings.Contains(script, "__turnstile"):
+		c.Turnstile = true
+	}
+	if strings.Contains(script, "console.log = noop") ||
+		strings.Contains(script, "console.log = function") {
+		c.ConsoleHijack = true
+	}
+	if strings.Contains(script, "debugger;") {
+		c.DebuggerTimer = true
+	}
+	if strings.Contains(script, "style.filter = atob(") {
+		c.HueRotate = true
+	}
+	if strings.Contains(script, "location.hash") && strings.Contains(script, "/check?email=") {
+		c.VictimCheck = true
+	}
+	if strings.Contains(script, "Intl.DateTimeFormat") &&
+		strings.Contains(script, "navigator.language") &&
+		strings.Contains(script, "atob(") {
+		c.FingerprintGate = true
+	}
+	if strings.Contains(script, `addEventListener("mousemove"`) && strings.Contains(script, "isTrusted") {
+		c.InteractionGate = true
+	}
+	if strings.Contains(script, "setTimeout") && strings.Contains(script, "setInnerHTML(atob(") {
+		c.DelayedReveal = true
+	}
+	if strings.Contains(script, `addEventListener("contextmenu"`) {
+		c.DevtoolsBlocking = true
+	}
+	if strings.Contains(script, "__botd") || strings.Contains(script, "__fpjs") {
+		c.FingerprintLib = true
+	}
+	if strings.Contains(script, "/score") && strings.Contains(script, "no-plugins") {
+		c.ReCaptcha = true
+	}
+	if strings.Contains(script, "__mathCheck") {
+		c.MathChallenge = true
+	}
+	if strings.Contains(script, "__otpCheck") {
+		c.OTPPrompt = true
+	}
+}
+
+func censusRequest(c *CloakCensus, url string) {
+	lower := strings.ToLower(url)
+	switch {
+	case strings.Contains(lower, "/challenge.js"):
+		c.Turnstile = true
+	case strings.Contains(lower, "/api.js"):
+		c.ReCaptcha = true
+	case strings.HasSuffix(lower, "/ip") || strings.Contains(lower, "httpbin"):
+		c.ExfilHTTPBin = true
+	case strings.Contains(lower, "/json?ip=") || strings.Contains(lower, "ipapi"):
+		c.ExfilIPAPI = true
+	case strings.Contains(lower, "/botd.js"):
+		c.FingerprintLib = true
+	}
+}
+
+// enrich joins the landing domain against WHOIS, the certificate store, and
+// the passive-DNS ledger.
+func (p *Pipeline) enrich(ma *MessageAnalysis) {
+	var landing *VisitRecord
+	for i := range ma.Visits {
+		v := &ma.Visits[i]
+		if v.Result != nil && v.Result.DOM != nil && hasPhishForm(v.Result) {
+			landing = v
+			break
+		}
+	}
+	if landing == nil {
+		return
+	}
+	u, err := neturl.Parse(landing.Result.FinalURL)
+	if err != nil || u.Hostname() == "" {
+		return
+	}
+	host := u.Hostname()
+	d := urlx.ParseDomain(host)
+	info := &LandingInfo{
+		URL:         landing.Result.FinalURL,
+		Host:        host,
+		Registrable: d.Registrable,
+		TLD:         d.TLD,
+	}
+	if ip, err := p.Net.Resolve(host, "crawlerbox-enrich"); err == nil {
+		info.IP = ip
+		if banner, ok := p.Net.BannerOf(ip); ok {
+			info.Banner = banner
+		}
+	}
+	if p.Whois != nil {
+		if rec, err := p.Whois.Lookup(d.Registrable); err == nil {
+			info.Whois = &rec
+		}
+	}
+	if cert, ok := p.Net.CertFor(host); ok {
+		info.Cert = cert
+	}
+	total, maxDaily := p.Net.QueryVolume(host, 30*24*time.Hour, p.Net.Clock.Now())
+	info.DNS30DayTotal = total
+	info.DNSMaxDaily = maxDaily
+	ma.Landing = info
+}
+
+// parseHTML statically extracts crawlable URLs from an HTML body.
+func parseHTML(html string) []string {
+	var out []string
+	for _, link := range htmlx.ExtractLinks(htmlx.Parse(html)) {
+		if link.Inline {
+			continue
+		}
+		if strings.HasPrefix(link.URL, "http://") || strings.HasPrefix(link.URL, "https://") {
+			out = append(out, link.URL)
+		}
+	}
+	return out
+}
+
+func appendQuery(rawURL, kv string) string {
+	if strings.Contains(rawURL, "?") {
+		return rawURL + "&" + kv
+	}
+	return rawURL + "?" + kv
+}
+
+func resolveRef(base, ref string) string {
+	bu, err := neturl.Parse(base)
+	if err != nil {
+		return ref
+	}
+	ru, err := neturl.Parse(ref)
+	if err != nil {
+		return ref
+	}
+	return bu.ResolveReference(ru).String()
+}
+
+// errIsNetwork reports network-level failures (used by reporting).
+func errIsNetwork(err error) bool {
+	return errors.Is(err, webnet.ErrNXDomain) ||
+		errors.Is(err, webnet.ErrUnreachable) ||
+		errors.Is(err, webnet.ErrTimeout)
+}
+
+var _ = errIsNetwork

@@ -1,0 +1,350 @@
+package dataset
+
+import (
+	"archive/zip"
+	"bytes"
+	"encoding/base64"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"crawlerbox/internal/cloak"
+	"crawlerbox/internal/imaging"
+	"crawlerbox/internal/mime"
+	"crawlerbox/internal/pdfx"
+	"crawlerbox/internal/qrcode"
+	"crawlerbox/internal/webnet"
+)
+
+var _fraudTemplates = []string{
+	"This is the billing department of %s. Our records show a past-due balance " +
+		"on your account. Reply urgently to arrange payment or your service will " +
+		"be disconnected within 48 hours.",
+	"Hello, I am reaching out regarding an unpaid invoice from last quarter. " +
+		"Please confirm the wire details by replying to this message today.",
+	"Your mailbox storage is almost full. Reply to this message with your " +
+		"employee ID to request an upgrade before your account is suspended.",
+	"We attempted to deliver a package to your office. Reply with your " +
+		"availability so our courier can reschedule.",
+}
+
+var _lureTemplates = []string{
+	"Your password expires today. Renew it immediately here: %s",
+	"Unusual sign-in activity was detected on your account. Review now: %s",
+	"You have a new encrypted message waiting. Read it here: %s",
+	"Action required: your session will be terminated. Re-authenticate: %s",
+	"IT notice: mandatory security update for your profile: %s",
+}
+
+// generateMessages builds every corpus message with ground truth attached.
+func (c *Corpus) generateMessages(rng *rand.Rand, counts dispositionCounts) {
+	scale := c.cfg.Scale
+	quotas := carrierQuotas{
+		faultyQR:   scaleQuota(CountFaultyQR, scale),
+		qr:         scaleQuota(CountQRMessages-CountFaultyQR, scale),
+		pdf:        scaleQuota(CountPDFMessages, scale),
+		htmlLocal:  scaleQuota(CountHTMLAttachLocal, scale),
+		htmlWindow: scaleQuota(CountHTMLAttachments-CountHTMLAttachLocal, scale),
+		noise:      scaleQuota(CountNoisePadded, scale),
+	}
+
+	// Active-phishing messages, grouped per domain.
+	msgIdx := 0
+	for di := range c.Domains {
+		d := &c.Domains[di]
+		for k := 0; k < d.MessageCount; k++ {
+			delivered := d.AvgDelivery.Add(time.Duration(k*6-d.MessageCount*3) * time.Hour)
+			if delivered.Before(_startTime) {
+				delivered = _startTime.Add(time.Hour)
+			}
+			m := c.buildActiveMessage(rng, di, k, delivered, &quotas, msgIdx)
+			c.Messages = append(c.Messages, m)
+			msgIdx++
+		}
+	}
+
+	// Deactivated / unreachable / mobile-cloaked messages.
+	nx := int(float64(counts.errorPages) * ErrorFracNXDomain)
+	unreach := int(float64(counts.errorPages) * ErrorFracUnreachable)
+	mobile := counts.errorPages - nx - unreach
+	c.deployErrorHosts(unreach, mobile)
+	for i := 0; i < counts.errorPages; i++ {
+		var url string
+		switch {
+		case i < nx:
+			url = fmt.Sprintf("https://takendown-%03d.example/login", i)
+		case i < nx+unreach:
+			url = fmt.Sprintf("https://unreachable-%03d.example/login", i-nx)
+		default:
+			url = fmt.Sprintf("https://mobile-only-%03d.example/m", i-nx-unreach)
+		}
+		delivered := c.deliveredFor(i, counts.errorPages)
+		text := fmt.Sprintf(_lureTemplates[i%len(_lureTemplates)], url)
+		raw := c.buildEmail(delivered, "Security alert", text, nil)
+		c.Messages = append(c.Messages, Message{
+			Raw: raw, Delivered: delivered, Month: monthOf(delivered),
+			Category: CatError, Carrier: CarrierTextLink, DomainIdx: -1, URL: url,
+		})
+	}
+
+	// Interaction-required messages.
+	for i := 0; i < counts.interaction; i++ {
+		host := "drive-share.example"
+		if i%3 == 0 {
+			host = "captcha-wall.example"
+		}
+		url := fmt.Sprintf("https://%s/d/%05d", host, i)
+		delivered := c.deliveredFor(i, counts.interaction)
+		raw := c.buildEmail(delivered, "Document shared with you",
+			fmt.Sprintf("A document was shared with you: %s", url), nil)
+		c.Messages = append(c.Messages, Message{
+			Raw: raw, Delivered: delivered, Month: monthOf(delivered),
+			Category: CatInteraction, Carrier: CarrierTextLink, DomainIdx: -1, URL: url,
+		})
+	}
+
+	// ZIP-with-HTA download messages.
+	for i := 0; i < counts.download; i++ {
+		delivered := c.deliveredFor(i, counts.download)
+		hta := fmt.Sprintf(`<script language="JScript">var u = "https://dropper-%d.evil/stage2.js";</script>`, i)
+		zipBytes := buildZipArchive(map[string]string{"document.hta": hta})
+		raw := mime.NewBuilder(c.senderFor(i), "employee@corp.example",
+			"Shipment documents", delivered).
+			Text("Please review the attached shipment documents.").
+			Attach("application/zip", "documents.zip", zipBytes).
+			Build()
+		c.Messages = append(c.Messages, Message{
+			Raw: raw, Delivered: delivered, Month: monthOf(delivered),
+			Category: CatDownload, Carrier: CarrierNone, DomainIdx: -1,
+		})
+	}
+
+	// Plain fraud (no web resource) messages.
+	for i := 0; i < counts.noURL; i++ {
+		delivered := c.deliveredFor(i, counts.noURL)
+		text := _fraudTemplates[i%len(_fraudTemplates)]
+		if strings.Contains(text, "%s") {
+			text = fmt.Sprintf(text, "a partner company")
+		}
+		noise := quotas.noise > 0 && i%8 == 0
+		if noise {
+			quotas.noise--
+			text += cloak.NoisePadding(i, 40, 60)
+		}
+		raw := c.buildEmail(delivered, "Outstanding balance", text, nil)
+		c.Messages = append(c.Messages, Message{
+			Raw: raw, Delivered: delivered, Month: monthOf(delivered),
+			Category: CatNoResource, Carrier: CarrierNone, DomainIdx: -1, Noise: noise,
+		})
+	}
+
+	sort.SliceStable(c.Messages, func(i, j int) bool {
+		return c.Messages[i].Delivered.Before(c.Messages[j].Delivered)
+	})
+}
+
+type carrierQuotas struct {
+	faultyQR, qr, pdf, htmlLocal, htmlWindow, noise int
+}
+
+// buildActiveMessage renders one active-phishing message for domain di.
+func (c *Corpus) buildActiveMessage(rng *rand.Rand, di, k int, delivered time.Time,
+	q *carrierQuotas, msgIdx int) Message {
+	d := &c.Domains[di]
+	url := d.Site.LandingURL
+	// Per-message token.
+	if d.Cloaks.Tokens {
+		base := strings.SplitN(d.Site.LandingURL, "?", 2)[0]
+		url = fmt.Sprintf("%s?t=u%03dx%04d", base, di, k)
+	}
+	victim := fmt.Sprintf("user%d@corp.example", msgIdx%500)
+	if d.Cloaks.VictimA || d.Cloaks.VictimB {
+		d.Site.AddVictim(victim)
+		url += "#" + base64.StdEncoding.EncodeToString([]byte(victim))
+	}
+	suffix := ""
+	if d.Cloaks.OTP {
+		suffix += "\nYour access code " + d.OTPCode + " expires in 15 minutes."
+	}
+	noise := false
+	if q.noise > 0 && msgIdx%5 == 0 {
+		q.noise--
+		noise = true
+		suffix += cloak.NoisePadding(msgIdx, 40, 80)
+	}
+	text := fmt.Sprintf(_lureTemplates[msgIdx%len(_lureTemplates)], url) + suffix
+
+	m := Message{
+		Delivered: delivered, Month: monthOf(delivered),
+		Category: CatActivePhish, DomainIdx: di,
+		Spear: d.Spear, Brand: d.Brand, URL: url, Noise: noise,
+	}
+	builder := mime.NewBuilder(c.senderFor(msgIdx), victim,
+		subjectFor(d, msgIdx), delivered)
+
+	switch {
+	case q.faultyQR > 0 && !d.Cloaks.VictimA && !d.Cloaks.VictimB && msgIdx%4 == 1:
+		q.faultyQR--
+		m.Carrier = CarrierFaultyQR
+		img := mustQR("xxx " + url)
+		builder.Text("Scan the attached code to view your secure message."+suffix).
+			Inline("image/x-cbi", "qr.cbi", imaging.EncodeCBI(img))
+	case q.qr > 0 && !d.Cloaks.VictimA && !d.Cloaks.VictimB && msgIdx%4 == 2:
+		q.qr--
+		m.Carrier = CarrierQR
+		img := mustQR(url)
+		builder.Text("Scan the attached code with your phone to re-enroll in MFA."+suffix).
+			Inline("image/x-cbi", "qr.cbi", imaging.EncodeCBI(img))
+	case q.pdf > 0 && msgIdx%4 == 3:
+		q.pdf--
+		m.Carrier = CarrierPDF
+		pdf := pdfx.Build(&pdfx.Document{Pages: []pdfx.Page{{
+			TextLines: []string{"Please review the attached notice.", "Open the secure portal below."},
+			LinkURIs:  []string{url},
+		}}}, true)
+		builder.Text("See the attached document."+suffix).
+			Attach("application/pdf", "notice.pdf", pdf)
+	case (q.htmlLocal > 0 || q.htmlWindow > 0) && !d.Spear && msgIdx%3 == 0:
+		windowRedirect := q.htmlLocal == 0
+		if windowRedirect {
+			q.htmlWindow--
+		} else {
+			q.htmlLocal--
+		}
+		m.Carrier = CarrierHTMLAttachment
+		att := makeHTMLAttachment(url, windowRedirect)
+		builder.Text("Open the attached contract to review."+suffix).
+			Attach("text/html", "contract.html", []byte(att))
+	case msgIdx%2 == 0:
+		m.Carrier = CarrierHTMLLink
+		builder.HTML(fmt.Sprintf(
+			`<html><body><p>%s</p><a href="%s">Open portal</a></body></html>`,
+			strings.SplitN(text, "\n", 2)[0], url)).Text(text)
+	default:
+		m.Carrier = CarrierTextLink
+		builder.Text(text)
+	}
+	m.Raw = builder.Build()
+	return m
+}
+
+func makeHTMLAttachment(url string, windowRedirect bool) string {
+	b64 := base64.StdEncoding.EncodeToString([]byte(url))
+	action := `document.body.setInnerHTML('<iframe src="' + target + '"></iframe>');`
+	if windowRedirect {
+		action = `location.href = target;`
+	}
+	return fmt.Sprintf(`<html><body style="background:url(https://freeimages.example/bg.png)">
+<img src="https://freeimages.example/banner.png" alt="preview">
+<script>
+var target = atob(%q);
+%s
+</script></body></html>`, b64, action)
+}
+
+func mustQR(payload string) *imaging.Image {
+	m, err := qrcode.Encode(payload, qrcode.ECMedium)
+	if err != nil {
+		panic("dataset: QR encode: " + err.Error())
+	}
+	img, err := qrcode.Render(m, 4, 4)
+	if err != nil {
+		panic("dataset: QR render: " + err.Error())
+	}
+	return img
+}
+
+func subjectFor(d *DomainRecord, idx int) string {
+	subjects := []string{
+		"Action required: password expiry",
+		"Security alert on your account",
+		"New secure message",
+		"Mandatory re-authentication",
+		"Updated travel policy document",
+	}
+	if d.Spear {
+		return "[" + d.Brand + "] " + subjects[idx%len(subjects)]
+	}
+	return subjects[idx%len(subjects)]
+}
+
+func (c *Corpus) senderFor(i int) string {
+	senders := []string{
+		"no-reply@notices-mail.ru", "support@secure-dispatch.com",
+		"admin@it-helpdesk.net", "billing@account-services.org",
+	}
+	return senders[i%len(senders)]
+}
+
+// buildEmail renders a basic text message.
+func (c *Corpus) buildEmail(delivered time.Time, subject, text string, _ []string) []byte {
+	return mime.NewBuilder(c.senderFor(int(delivered.Unix())%7), "employee@corp.example",
+		subject, delivered).Text(text).Build()
+}
+
+// deliveredFor spreads the i-th of n messages across the ten months
+// proportionally to the monthly plan.
+func (c *Corpus) deliveredFor(i, n int) time.Time {
+	total := 0
+	for _, m := range c.Monthly {
+		total += m
+	}
+	if total == 0 || n == 0 {
+		return _startTime.Add(time.Duration(i) * time.Hour)
+	}
+	target := i * total / n
+	cum := 0
+	for month, m := range c.Monthly {
+		cum += m
+		if target < cum {
+			offset := time.Duration((i*37)%(27*24)) * time.Hour
+			return monthStart(month).Add(offset)
+		}
+	}
+	return monthStart(9).Add(time.Duration(i%600) * time.Hour)
+}
+
+func monthOf(t time.Time) int {
+	return int(t.Month()) - 1
+}
+
+// deployErrorHosts sets up the unreachable and mobile-only hosts that the
+// error-category messages point at.
+func (c *Corpus) deployErrorHosts(unreach, mobile int) {
+	for i := 0; i < unreach; i++ {
+		host := fmt.Sprintf("unreachable-%03d.example", i)
+		c.Net.AddDNS(host, c.Net.AllocateIP(webnet.IPDatacenter))
+		// No Serve: resolves but nothing answers.
+	}
+	for i := 0; i < mobile; i++ {
+		host := fmt.Sprintf("mobile-only-%03d.example", i)
+		ip := c.Net.AllocateIP(webnet.IPDatacenter)
+		c.Net.AddDNS(host, ip)
+		handler := cloak.Chain(func(*webnet.Request) *webnet.Response {
+			return &webnet.Response{Status: 200,
+				Body: []byte(`<html><body><form><input type="password"></form></body></html>`)}
+		}, cloak.UserAgentFilter("iPhone", "Android"))
+		c.Net.Serve(host, handler)
+	}
+}
+
+func buildZipArchive(files map[string]string) []byte {
+	var b bytes.Buffer
+	zw := zip.NewWriter(&b)
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w, err := zw.Create(name)
+		if err != nil {
+			continue
+		}
+		_, _ = w.Write([]byte(files[name]))
+	}
+	_ = zw.Close()
+	return b.Bytes()
+}

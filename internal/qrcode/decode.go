@@ -1,0 +1,281 @@
+package qrcode
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Decoded is the result of decoding a QR matrix.
+type Decoded struct {
+	Payload   string
+	Version   int
+	Level     ECLevel
+	Mask      int
+	Corrected int // Reed-Solomon byte corrections applied
+}
+
+// DecodeMatrix decodes a QR module matrix, applying Reed-Solomon error
+// correction as needed.
+func DecodeMatrix(m *Matrix) (*Decoded, error) {
+	size := m.Size
+	if size < 21 || (size-17)%4 != 0 {
+		return nil, fmt.Errorf("qrcode: invalid matrix size %d", size)
+	}
+	version := (size - 17) / 4
+	if version > MaxVersion {
+		return nil, fmt.Errorf("qrcode: version %d exceeds supported maximum %d", version, MaxVersion)
+	}
+	level, mask, err := readFormatInfo(m)
+	if err != nil {
+		return nil, err
+	}
+
+	// Rebuild the function map so data modules can be identified, then
+	// unmask a working copy.
+	work := &Matrix{Version: version, Level: level, Size: size, Modules: make([]bool, size*size)}
+	function := make([]bool, size*size)
+	placeFunctionPatterns(work, function, version)
+	data := m.Clone()
+	applyMask(data, function, mask)
+
+	// Read codeword bits with the placement zigzag.
+	spec := ecSpec(version, level)
+	totalCodewords := spec.DataCodewords() + spec.TotalBlocks()*spec.ECPerBlock
+	bitsSeq := readData(data, function, totalCodewords*8)
+	codewords := make([]byte, totalCodewords)
+	for i, b := range bitsSeq {
+		if b {
+			codewords[i/8] |= 1 << uint(7-i%8)
+		}
+	}
+
+	payload, corrected, err := decodeCodewords(codewords, version, level)
+	if err != nil {
+		return nil, err
+	}
+	return &Decoded{Payload: payload, Version: version, Level: level, Mask: mask, Corrected: corrected}, nil
+}
+
+// readFormatInfo recovers (level, mask) from either format copy, accepting
+// up to 3 bit errors against the 32 valid codewords.
+func readFormatInfo(m *Matrix) (ECLevel, int, error) {
+	size := m.Size
+	read := func(coords [15][2]int) int {
+		v := 0
+		for _, c := range coords {
+			v <<= 1
+			if m.At(c[0], c[1]) {
+				v |= 1
+			}
+		}
+		return v
+	}
+	coordsA := [15][2]int{
+		{8, 0}, {8, 1}, {8, 2}, {8, 3}, {8, 4}, {8, 5}, {8, 7}, {8, 8},
+		{7, 8}, {5, 8}, {4, 8}, {3, 8}, {2, 8}, {1, 8}, {0, 8},
+	}
+	var coordsB [15][2]int
+	for i := 0; i < 7; i++ {
+		coordsB[i] = [2]int{8, size - 1 - i}
+	}
+	for i := 7; i < 15; i++ {
+		coordsB[i] = [2]int{size - 15 + i, 8}
+	}
+	for _, raw := range []int{read(coordsA), read(coordsB)} {
+		bestDist := 16
+		bestLevel := ECLow
+		bestMask := 0
+		for lv := 0; lv < 4; lv++ {
+			for mask := 0; mask < 8; mask++ {
+				level := ecLevelFromFormatBits(lv)
+				want := formatInfo(level, mask)
+				d := bits.OnesCount32(uint32(raw ^ want))
+				if d < bestDist {
+					bestDist = d
+					bestLevel = level
+					bestMask = mask
+				}
+			}
+		}
+		if bestDist <= 3 {
+			return bestLevel, bestMask, nil
+		}
+	}
+	return 0, 0, ErrInvalidFormat
+}
+
+// readData extracts n bits from non-function modules in placement order.
+func readData(m *Matrix, function []bool, n int) []bool {
+	size := m.Size
+	out := make([]bool, 0, n)
+	upward := true
+	for right := size - 1; right >= 1; right -= 2 {
+		if right == 6 {
+			right = 5
+		}
+		for i := 0; i < size; i++ {
+			y := i
+			if upward {
+				y = size - 1 - i
+			}
+			for _, x := range []int{right, right - 1} {
+				if function[y*size+x] {
+					continue
+				}
+				if len(out) < n {
+					out = append(out, m.At(x, y))
+				}
+			}
+		}
+		upward = !upward
+	}
+	return out
+}
+
+// decodeCodewords deinterleaves, error-corrects, and parses the payload.
+func decodeCodewords(codewords []byte, version int, level ECLevel) (string, int, error) {
+	spec := ecSpec(version, level)
+	// Block layout in group order.
+	var dataLens []int
+	for _, g := range spec.Groups {
+		for b := 0; b < g.Num; b++ {
+			dataLens = append(dataLens, g.Data)
+		}
+	}
+	numBlocks := len(dataLens)
+	blocks := make([][]byte, numBlocks)
+	for i := range blocks {
+		blocks[i] = make([]byte, 0, dataLens[i]+spec.ECPerBlock)
+	}
+	// Deinterleave data codewords.
+	maxData := 0
+	for _, l := range dataLens {
+		if l > maxData {
+			maxData = l
+		}
+	}
+	pos := 0
+	for i := 0; i < maxData; i++ {
+		for b := 0; b < numBlocks; b++ {
+			if i < dataLens[b] {
+				if pos >= len(codewords) {
+					return "", 0, fmt.Errorf("qrcode: truncated codeword stream")
+				}
+				blocks[b] = append(blocks[b], codewords[pos])
+				pos++
+			}
+		}
+	}
+	// Deinterleave EC codewords.
+	for i := 0; i < spec.ECPerBlock; i++ {
+		for b := 0; b < numBlocks; b++ {
+			if pos >= len(codewords) {
+				return "", 0, fmt.Errorf("qrcode: truncated codeword stream")
+			}
+			blocks[b] = append(blocks[b], codewords[pos])
+			pos++
+		}
+	}
+	// Error-correct each block and concatenate the data portions.
+	gf := newGFTables()
+	corrected := 0
+	var data []byte
+	for b, block := range blocks {
+		n, err := gf.rsDecode(block, spec.ECPerBlock)
+		if err != nil {
+			return "", 0, fmt.Errorf("qrcode: block %d: %w", b, err)
+		}
+		corrected += n
+		data = append(data, block[:dataLens[b]]...)
+	}
+	payload, err := parseSegments(data, version)
+	if err != nil {
+		return "", 0, err
+	}
+	return payload, corrected, nil
+}
+
+// parseSegments parses the decoded data bit stream into the payload string.
+func parseSegments(data []byte, version int) (string, error) {
+	r := &bitReader{data: data}
+	var out []byte
+	for r.remaining() >= 4 {
+		ind, err := r.readBits(4)
+		if err != nil {
+			return "", err
+		}
+		if ind == 0 { // terminator
+			break
+		}
+		var mode Mode
+		switch ind {
+		case 0b0001:
+			mode = ModeNumeric
+		case 0b0010:
+			mode = ModeAlphanumeric
+		case 0b0100:
+			mode = ModeByte
+		default:
+			return "", fmt.Errorf("qrcode: unsupported mode indicator %04b", ind)
+		}
+		count, err := r.readBits(charCountBits(mode, version))
+		if err != nil {
+			return "", err
+		}
+		switch mode {
+		case ModeNumeric:
+			for count > 0 {
+				take := min(count, 3)
+				width := []int{0, 4, 7, 10}[take]
+				v, err := r.readBits(width)
+				if err != nil {
+					return "", err
+				}
+				out = append(out, formatDigits(v, take)...)
+				count -= take
+			}
+		case ModeAlphanumeric:
+			for count > 0 {
+				if count >= 2 {
+					v, err := r.readBits(11)
+					if err != nil {
+						return "", err
+					}
+					if v/45 >= 45 {
+						return "", fmt.Errorf("qrcode: invalid alphanumeric pair %d", v)
+					}
+					out = append(out, _alphanumericCharset[v/45], _alphanumericCharset[v%45])
+					count -= 2
+				} else {
+					v, err := r.readBits(6)
+					if err != nil {
+						return "", err
+					}
+					if v >= 45 {
+						return "", fmt.Errorf("qrcode: invalid alphanumeric value %d", v)
+					}
+					out = append(out, _alphanumericCharset[v])
+					count--
+				}
+			}
+		case ModeByte:
+			for i := 0; i < count; i++ {
+				v, err := r.readBits(8)
+				if err != nil {
+					return "", err
+				}
+				out = append(out, byte(v))
+			}
+		}
+	}
+	return string(out), nil
+}
+
+func formatDigits(v, n int) []byte {
+	out := make([]byte, n)
+	for i := n - 1; i >= 0; i-- {
+		out[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return out
+}

@@ -1,0 +1,534 @@
+package qrcode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mode is a QR data-encoding mode.
+type Mode int
+
+// Supported encoding modes.
+const (
+	ModeNumeric Mode = iota + 1
+	ModeAlphanumeric
+	ModeByte
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeNumeric:
+		return "numeric"
+	case ModeAlphanumeric:
+		return "alphanumeric"
+	case ModeByte:
+		return "byte"
+	default:
+		return "unknown"
+	}
+}
+
+func (m Mode) indicator() int {
+	switch m {
+	case ModeNumeric:
+		return 0b0001
+	case ModeAlphanumeric:
+		return 0b0010
+	default:
+		return 0b0100
+	}
+}
+
+const _alphanumericCharset = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ $%*+-./:"
+
+// ChooseMode returns the densest mode capable of encoding payload.
+func ChooseMode(payload string) Mode {
+	numeric, alnum := true, true
+	for _, r := range payload {
+		if r < '0' || r > '9' {
+			numeric = false
+		}
+		if !strings.ContainsRune(_alphanumericCharset, r) {
+			alnum = false
+		}
+	}
+	switch {
+	case numeric && payload != "":
+		return ModeNumeric
+	case alnum:
+		return ModeAlphanumeric
+	default:
+		return ModeByte
+	}
+}
+
+// Matrix is a decoded or generated QR module grid. Modules[y*Size+x] is true
+// for dark modules.
+type Matrix struct {
+	Version int
+	Level   ECLevel
+	Mask    int
+	Size    int
+	Modules []bool
+}
+
+// At returns the module at (x, y); out-of-range coordinates read as light.
+func (m *Matrix) At(x, y int) bool {
+	if x < 0 || x >= m.Size || y < 0 || y >= m.Size {
+		return false
+	}
+	return m.Modules[y*m.Size+x]
+}
+
+func (m *Matrix) set(x, y int, v bool) {
+	m.Modules[y*m.Size+x] = v
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := *m
+	out.Modules = make([]bool, len(m.Modules))
+	copy(out.Modules, m.Modules)
+	return &out
+}
+
+// Encode builds a QR matrix for payload at the given EC level, choosing the
+// smallest version that fits and the mask with the lowest penalty score.
+func Encode(payload string, level ECLevel) (*Matrix, error) {
+	if level < ECLow || level > ECHigh {
+		return nil, fmt.Errorf("qrcode: invalid EC level %d", level)
+	}
+	mode := ChooseMode(payload)
+	version := -1
+	for v := 1; v <= MaxVersion; v++ {
+		if segmentBits(mode, payload, v) <= ecSpec(v, level).DataCodewords()*8 {
+			version = v
+			break
+		}
+	}
+	if version < 0 {
+		return nil, fmt.Errorf("%w: %d bytes at level %s", ErrPayloadTooLarge, len(payload), level)
+	}
+	codewords, err := buildCodewords(mode, payload, version, level)
+	if err != nil {
+		return nil, err
+	}
+	return assembleMatrix(version, level, codewords), nil
+}
+
+// segmentBits returns the total bit length of a single-segment encoding.
+func segmentBits(mode Mode, payload string, version int) int {
+	header := 4 + charCountBits(mode, version)
+	switch mode {
+	case ModeNumeric:
+		n := len(payload)
+		bits := (n / 3) * 10
+		switch n % 3 {
+		case 1:
+			bits += 4
+		case 2:
+			bits += 7
+		}
+		return header + bits
+	case ModeAlphanumeric:
+		n := len(payload)
+		return header + (n/2)*11 + (n%2)*6
+	default:
+		return header + len(payload)*8
+	}
+}
+
+// buildCodewords produces the fully interleaved data+EC codeword sequence.
+func buildCodewords(mode Mode, payload string, version int, level ECLevel) ([]byte, error) {
+	spec := ecSpec(version, level)
+	capacityBits := spec.DataCodewords() * 8
+
+	var w bitWriter
+	w.writeBits(mode.indicator(), 4)
+	switch mode {
+	case ModeNumeric:
+		w.writeBits(len(payload), charCountBits(mode, version))
+		for i := 0; i < len(payload); i += 3 {
+			end := min(i+3, len(payload))
+			chunk := payload[i:end]
+			v := 0
+			for _, r := range chunk {
+				v = v*10 + int(r-'0')
+			}
+			w.writeBits(v, []int{0, 4, 7, 10}[len(chunk)])
+		}
+	case ModeAlphanumeric:
+		w.writeBits(len(payload), charCountBits(mode, version))
+		for i := 0; i < len(payload); i += 2 {
+			if i+1 < len(payload) {
+				v := strings.IndexByte(_alphanumericCharset, payload[i])*45 +
+					strings.IndexByte(_alphanumericCharset, payload[i+1])
+				w.writeBits(v, 11)
+			} else {
+				w.writeBits(strings.IndexByte(_alphanumericCharset, payload[i]), 6)
+			}
+		}
+	default:
+		w.writeBits(len(payload), charCountBits(mode, version))
+		for i := 0; i < len(payload); i++ {
+			w.writeBits(int(payload[i]), 8)
+		}
+	}
+	if w.len() > capacityBits {
+		return nil, fmt.Errorf("%w: %d bits > %d capacity", ErrPayloadTooLarge, w.len(), capacityBits)
+	}
+	// Terminator (up to 4 zero bits), byte alignment, then pad codewords.
+	term := min(4, capacityBits-w.len())
+	w.writeBits(0, term)
+	if w.len()%8 != 0 {
+		w.writeBits(0, 8-w.len()%8)
+	}
+	data := w.bytes()
+	for pad := 0; len(data) < spec.DataCodewords(); pad++ {
+		if pad%2 == 0 {
+			data = append(data, 0xEC)
+		} else {
+			data = append(data, 0x11)
+		}
+	}
+
+	// Split into blocks, compute EC, and interleave.
+	gf := newGFTables()
+	var blocks [][]byte
+	var ecBlocks [][]byte
+	offset := 0
+	for _, g := range spec.Groups {
+		for b := 0; b < g.Num; b++ {
+			block := data[offset : offset+g.Data]
+			offset += g.Data
+			blocks = append(blocks, block)
+			ecBlocks = append(ecBlocks, gf.rsEncode(block, spec.ECPerBlock))
+		}
+	}
+	var out []byte
+	maxData := 0
+	for _, b := range blocks {
+		if len(b) > maxData {
+			maxData = len(b)
+		}
+	}
+	for i := 0; i < maxData; i++ {
+		for _, b := range blocks {
+			if i < len(b) {
+				out = append(out, b[i])
+			}
+		}
+	}
+	for i := 0; i < spec.ECPerBlock; i++ {
+		for _, b := range ecBlocks {
+			out = append(out, b[i])
+		}
+	}
+	return out, nil
+}
+
+// assembleMatrix places function patterns and data, then selects the best
+// mask by penalty score.
+func assembleMatrix(version int, level ECLevel, codewords []byte) *Matrix {
+	size := matrixSize(version)
+	base := &Matrix{Version: version, Level: level, Size: size, Modules: make([]bool, size*size)}
+	function := make([]bool, size*size) // true where function patterns live
+	placeFunctionPatterns(base, function, version)
+
+	// Expand codewords to a bit sequence plus remainder zeros.
+	totalBits := len(codewords)*8 + _remainderBits[version-1]
+	bitsSeq := make([]bool, totalBits)
+	for i := 0; i < len(codewords)*8; i++ {
+		bitsSeq[i] = codewords[i/8]>>(uint(7-i%8))&1 == 1
+	}
+	placeData(base, function, bitsSeq)
+
+	best := -1
+	var bestMatrix *Matrix
+	bestPenalty := 1 << 30
+	for mask := 0; mask < 8; mask++ {
+		cand := base.Clone()
+		applyMask(cand, function, mask)
+		writeFormatInfo(cand, level, mask)
+		if version >= 7 {
+			writeVersionInfo(cand, version)
+		}
+		p := penalty(cand)
+		if p < bestPenalty {
+			bestPenalty = p
+			best = mask
+			bestMatrix = cand
+		}
+	}
+	bestMatrix.Mask = best
+	return bestMatrix
+}
+
+// placeFunctionPatterns draws finders, separators, timing, alignment, the
+// dark module, and reserves format/version areas.
+func placeFunctionPatterns(m *Matrix, function []bool, version int) {
+	size := m.Size
+	markFn := func(x, y int) {
+		if x >= 0 && x < size && y >= 0 && y < size {
+			function[y*size+x] = true
+		}
+	}
+	drawFinder := func(cx, cy int) {
+		for dy := -4; dy <= 4; dy++ {
+			for dx := -4; dx <= 4; dx++ {
+				x, y := cx+dx, cy+dy
+				if x < 0 || x >= size || y < 0 || y >= size {
+					continue
+				}
+				markFn(x, y)
+				dist := max(abs(dx), abs(dy))
+				m.set(x, y, dist <= 3 && dist != 2) // rings: 3x3 core + 7x7 border
+			}
+		}
+	}
+	drawFinder(3, 3)
+	drawFinder(size-4, 3)
+	drawFinder(3, size-4)
+
+	// Timing patterns.
+	for i := 8; i < size-8; i++ {
+		if !function[6*size+i] {
+			markFn(i, 6)
+			m.set(i, 6, i%2 == 0)
+		}
+		if !function[i*size+6] {
+			markFn(6, i)
+			m.set(6, i, i%2 == 0)
+		}
+	}
+
+	// Alignment patterns.
+	centers := _alignmentCenters[version-1]
+	for _, cy := range centers {
+		for _, cx := range centers {
+			// Skip those overlapping finder patterns.
+			if isFinderArea(cx, cy, size) {
+				continue
+			}
+			for dy := -2; dy <= 2; dy++ {
+				for dx := -2; dx <= 2; dx++ {
+					x, y := cx+dx, cy+dy
+					markFn(x, y)
+					dist := max(abs(dx), abs(dy))
+					m.set(x, y, dist != 1)
+				}
+			}
+		}
+	}
+
+	// Reserve format info areas (the actual bits are written per mask).
+	for i := 0; i < 9; i++ {
+		markFn(i, 8)
+		markFn(8, i)
+	}
+	for i := 0; i < 8; i++ {
+		markFn(size-1-i, 8)
+		markFn(8, size-1-i)
+	}
+	// Dark module.
+	m.set(8, size-8, true)
+	markFn(8, size-8)
+
+	// Reserve version info areas.
+	if version >= 7 {
+		for i := 0; i < 6; i++ {
+			for j := 0; j < 3; j++ {
+				markFn(size-11+j, i)
+				markFn(i, size-11+j)
+			}
+		}
+	}
+}
+
+func isFinderArea(cx, cy, size int) bool {
+	return (cx <= 8 && cy <= 8) || (cx >= size-9 && cy <= 8) || (cx <= 8 && cy >= size-9)
+}
+
+// placeData writes the bit sequence into non-function modules using the
+// standard upward/downward two-column zigzag.
+func placeData(m *Matrix, function []bool, bitsSeq []bool) {
+	size := m.Size
+	idx := 0
+	upward := true
+	for right := size - 1; right >= 1; right -= 2 {
+		if right == 6 {
+			right = 5 // skip the vertical timing column
+		}
+		for i := 0; i < size; i++ {
+			y := i
+			if upward {
+				y = size - 1 - i
+			}
+			for _, x := range []int{right, right - 1} {
+				if function[y*size+x] {
+					continue
+				}
+				v := false
+				if idx < len(bitsSeq) {
+					v = bitsSeq[idx]
+				}
+				m.set(x, y, v)
+				idx++
+			}
+		}
+		upward = !upward
+	}
+}
+
+// maskBit reports whether mask pattern `mask` inverts module (x, y).
+func maskBit(mask, x, y int) bool {
+	switch mask {
+	case 0:
+		return (x+y)%2 == 0
+	case 1:
+		return y%2 == 0
+	case 2:
+		return x%3 == 0
+	case 3:
+		return (x+y)%3 == 0
+	case 4:
+		return (y/2+x/3)%2 == 0
+	case 5:
+		return x*y%2+x*y%3 == 0
+	case 6:
+		return (x*y%2+x*y%3)%2 == 0
+	default:
+		return ((x+y)%2+x*y%3)%2 == 0
+	}
+}
+
+func applyMask(m *Matrix, function []bool, mask int) {
+	size := m.Size
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			if !function[y*size+x] && maskBit(mask, x, y) {
+				m.set(x, y, !m.At(x, y))
+			}
+		}
+	}
+}
+
+// writeFormatInfo writes both copies of the 15-bit format codeword.
+func writeFormatInfo(m *Matrix, level ECLevel, mask int) {
+	bitsVal := formatInfo(level, mask)
+	size := m.Size
+	get := func(i int) bool { return bitsVal>>uint(14-i)&1 == 1 }
+	// Copy 1: around the top-left finder.
+	coordsA := [15][2]int{
+		{8, 0}, {8, 1}, {8, 2}, {8, 3}, {8, 4}, {8, 5}, {8, 7}, {8, 8},
+		{7, 8}, {5, 8}, {4, 8}, {3, 8}, {2, 8}, {1, 8}, {0, 8},
+	}
+	for i, c := range coordsA {
+		m.set(c[0], c[1], get(i))
+	}
+	// Copy 2: split between bottom-left and top-right finders.
+	for i := 0; i < 7; i++ {
+		m.set(8, size-1-i, get(i))
+	}
+	for i := 7; i < 15; i++ {
+		m.set(size-15+i, 8, get(i))
+	}
+}
+
+// writeVersionInfo writes both copies of the 18-bit version codeword.
+func writeVersionInfo(m *Matrix, version int) {
+	v := versionInfo(version)
+	size := m.Size
+	for i := 0; i < 18; i++ {
+		bit := v>>uint(i)&1 == 1
+		x := i / 3
+		y := size - 11 + i%3
+		m.set(x, y, bit)
+		m.set(y, x, bit)
+	}
+}
+
+// penalty computes the four-rule mask penalty score from the standard.
+func penalty(m *Matrix) int {
+	size := m.Size
+	score := 0
+	// Rule 1: runs of 5+ same-color modules in rows and columns.
+	for y := 0; y < size; y++ {
+		score += runPenalty(func(i int) bool { return m.At(i, y) }, size)
+		score += runPenalty(func(i int) bool { return m.At(y, i) }, size)
+	}
+	// Rule 2: 2x2 blocks of the same color.
+	for y := 0; y < size-1; y++ {
+		for x := 0; x < size-1; x++ {
+			c := m.At(x, y)
+			if m.At(x+1, y) == c && m.At(x, y+1) == c && m.At(x+1, y+1) == c {
+				score += 3
+			}
+		}
+	}
+	// Rule 3: finder-like 1:1:3:1:1 patterns with 4-module light flank.
+	pattern := []bool{true, false, true, true, true, false, true, false, false, false, false}
+	for y := 0; y < size; y++ {
+		for x := 0; x+len(pattern) <= size; x++ {
+			fwd, rev := true, true
+			for i, p := range pattern {
+				if m.At(x+i, y) != p {
+					fwd = false
+				}
+				if m.At(x+len(pattern)-1-i, y) != p {
+					rev = false
+				}
+			}
+			if fwd || rev {
+				score += 40
+			}
+			fwd, rev = true, true
+			for i, p := range pattern {
+				if m.At(y, x+i) != p {
+					fwd = false
+				}
+				if m.At(y, x+len(pattern)-1-i) != p {
+					rev = false
+				}
+			}
+			if fwd || rev {
+				score += 40
+			}
+		}
+	}
+	// Rule 4: dark-module balance.
+	dark := 0
+	for _, v := range m.Modules {
+		if v {
+			dark++
+		}
+	}
+	percent := dark * 100 / (size * size)
+	k := abs(percent-50) / 5
+	score += k * 10
+	return score
+}
+
+func runPenalty(at func(int) bool, size int) int {
+	score := 0
+	run := 1
+	for i := 1; i <= size; i++ {
+		if i < size && at(i) == at(i-1) {
+			run++
+			continue
+		}
+		if run >= 5 {
+			score += 3 + run - 5
+		}
+		run = 1
+	}
+	return score
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,256 @@
+// Package qrcode implements QR code generation and decoding from scratch:
+// segment encoding (numeric, alphanumeric, byte modes), Reed-Solomon error
+// correction over GF(256), matrix construction with all eight mask patterns
+// and penalty-based selection, format/version BCH codes, and two decoders —
+// one from a module matrix and one from a rendered raster image via
+// finder-pattern location.
+//
+// The paper's corpus embeds phishing URLs in QR codes (35 messages exploit a
+// parser bug using deliberately "faulty" payloads such as
+// "xxx https://evil-site.com/"); this package provides the codec both for
+// generating that corpus and for CrawlerBox's extraction path.
+package qrcode
+
+// GF(256) arithmetic with the QR polynomial x^8 + x^4 + x^3 + x^2 + 1
+// (0x11D) and generator alpha = 2.
+
+const (
+	_gfPoly  = 0x11D
+	_gfOrder = 256
+)
+
+type gfTables struct {
+	exp [2 * _gfOrder]byte
+	log [_gfOrder]int
+}
+
+// newGFTables builds the exponent/log tables once per use site. The tables
+// are tiny; recomputing avoids package-level mutable state.
+func newGFTables() *gfTables {
+	t := &gfTables{}
+	x := 1
+	for i := 0; i < _gfOrder-1; i++ {
+		t.exp[i] = byte(x)
+		t.log[x] = i
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= _gfPoly
+		}
+	}
+	for i := _gfOrder - 1; i < 2*_gfOrder; i++ {
+		t.exp[i] = t.exp[i-(_gfOrder-1)]
+	}
+	return t
+}
+
+func (t *gfTables) mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return t.exp[t.log[a]+t.log[b]]
+}
+
+func (t *gfTables) div(a, b byte) byte {
+	if b == 0 {
+		panic("qrcode: GF division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return t.exp[t.log[a]+_gfOrder-1-t.log[b]]
+}
+
+func (t *gfTables) pow(base byte, e int) byte {
+	if base == 0 {
+		return 0
+	}
+	idx := (t.log[base] * e) % (_gfOrder - 1)
+	if idx < 0 {
+		idx += _gfOrder - 1
+	}
+	return t.exp[idx]
+}
+
+func (t *gfTables) inv(a byte) byte {
+	return t.div(1, a)
+}
+
+// polyMul multiplies two polynomials (index 0 = highest-degree coefficient).
+func (t *gfTables) polyMul(p, q []byte) []byte {
+	out := make([]byte, len(p)+len(q)-1)
+	for i, pc := range p {
+		if pc == 0 {
+			continue
+		}
+		for j, qc := range q {
+			out[i+j] ^= t.mul(pc, qc)
+		}
+	}
+	return out
+}
+
+// polyEval evaluates a polynomial (index 0 = highest degree) at x.
+func (t *gfTables) polyEval(p []byte, x byte) byte {
+	var y byte
+	for _, c := range p {
+		y = t.mul(y, x) ^ c
+	}
+	return y
+}
+
+// rsGenerator returns the Reed-Solomon generator polynomial of the given
+// degree: prod_{i=0}^{deg-1} (x - alpha^i).
+func (t *gfTables) rsGenerator(degree int) []byte {
+	gen := []byte{1}
+	for i := 0; i < degree; i++ {
+		gen = t.polyMul(gen, []byte{1, t.pow(2, i)})
+	}
+	return gen
+}
+
+// rsEncode returns the ecLen error-correction codewords for data.
+func (t *gfTables) rsEncode(data []byte, ecLen int) []byte {
+	gen := t.rsGenerator(ecLen)
+	rem := make([]byte, len(data)+ecLen)
+	copy(rem, data)
+	for i := 0; i < len(data); i++ {
+		coef := rem[i]
+		if coef == 0 {
+			continue
+		}
+		for j := 1; j < len(gen); j++ {
+			rem[i+j] ^= t.mul(gen[j], coef)
+		}
+	}
+	return rem[len(data):]
+}
+
+// rsDecode corrects up to ecLen/2 byte errors in-place in msg (data followed
+// by EC codewords). It returns the number of corrected errors, or an error
+// when the codeword is uncorrectable.
+func (t *gfTables) rsDecode(msg []byte, ecLen int) (int, error) {
+	synd := make([]byte, ecLen)
+	clean := true
+	for i := range synd {
+		synd[i] = t.polyEval(msg, t.pow(2, i))
+		if synd[i] != 0 {
+			clean = false
+		}
+	}
+	if clean {
+		return 0, nil
+	}
+	// Berlekamp-Massey (Massey's formulation) finds the error locator
+	// polynomial sigma, stored low-degree-first, with L tracked explicitly.
+	sigma := []byte{1} // C(x)
+	prev := []byte{1}  // B(x)
+	L := 0
+	m := 1
+	b := byte(1)
+	for n := 0; n < ecLen; n++ {
+		d := synd[n]
+		for i := 1; i <= L && i < len(sigma); i++ {
+			if n-i >= 0 {
+				d ^= t.mul(sigma[i], synd[n-i])
+			}
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		coef := t.mul(d, t.inv(b))
+		if 2*L <= n {
+			old := make([]byte, len(sigma))
+			copy(old, sigma)
+			sigma = polyAddShifted(t, sigma, prev, coef, m)
+			L = n + 1 - L
+			prev = old
+			b = d
+			m = 1
+		} else {
+			sigma = polyAddShifted(t, sigma, prev, coef, m)
+			m++
+		}
+	}
+	numErrors := L
+	if numErrors*2 > ecLen {
+		return 0, errUncorrectable
+	}
+	// Chien search: sigma's roots are the inverse locators X_i^-1, where
+	// position i (from the left) has locator X_i = alpha^(n-1-i).
+	var errPos []int
+	n := len(msg)
+	for i := 0; i < n; i++ {
+		xinv := t.inv(t.pow(2, n-1-i))
+		var v byte
+		for j := len(sigma) - 1; j >= 0; j-- {
+			v = t.mul(v, xinv) ^ sigma[j]
+		}
+		if v == 0 {
+			errPos = append(errPos, i)
+		}
+	}
+	if len(errPos) != numErrors {
+		return 0, errUncorrectable
+	}
+	// Forney algorithm: error magnitudes.
+	// Omega(x) = [S(x) * sigma(x)] mod x^ecLen, with S low-degree-first.
+	omega := make([]byte, ecLen)
+	for i := 0; i < ecLen; i++ {
+		var v byte
+		for j := 0; j <= i && j < len(sigma); j++ {
+			v ^= t.mul(sigma[j], synd[i-j])
+		}
+		omega[i] = v
+	}
+	for _, pos := range errPos {
+		xi := t.pow(2, n-1-pos) // X_i
+		xiInv := t.inv(xi)      // X_i^-1
+		var num byte            // Omega(X_i^-1)
+		for j := len(omega) - 1; j >= 0; j-- {
+			num = t.mul(num, xiInv) ^ omega[j]
+		}
+		// sigma'(X_i^-1): derivative keeps odd-degree terms.
+		var den byte
+		for j := 1; j < len(sigma); j += 2 {
+			den ^= t.mul(sigma[j], t.powByte(xiInv, j-1))
+		}
+		if den == 0 {
+			return 0, errUncorrectable
+		}
+		mag := t.mul(xi, t.div(num, den))
+		msg[pos] ^= mag
+	}
+	// Verify: all syndromes must now vanish.
+	for i := 0; i < ecLen; i++ {
+		if t.polyEval(msg, t.pow(2, i)) != 0 {
+			return 0, errUncorrectable
+		}
+	}
+	return numErrors, nil
+}
+
+func (t *gfTables) powByte(base byte, e int) byte {
+	if e == 0 {
+		return 1
+	}
+	return t.pow(base, e)
+}
+
+// polyAddShifted returns sigma + coef * prev * x^shift (low-degree-first).
+func polyAddShifted(t *gfTables, sigma, prev []byte, coef byte, shift int) []byte {
+	size := len(sigma)
+	if len(prev)+shift > size {
+		size = len(prev) + shift
+	}
+	out := make([]byte, size)
+	copy(out, sigma)
+	for i, c := range prev {
+		out[i+shift] ^= t.mul(coef, c)
+	}
+	// Trim trailing zeros to keep degree honest.
+	for len(out) > 1 && out[len(out)-1] == 0 {
+		out = out[:len(out)-1]
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package qrcode
+
+import "errors"
+
+// Errors shared across the codec.
+var (
+	// ErrPayloadTooLarge indicates the payload does not fit any supported
+	// version at the requested error-correction level.
+	ErrPayloadTooLarge = errors.New("qrcode: payload too large for supported versions")
+	// ErrInvalidFormat indicates the format information could not be
+	// recovered from either copy in the matrix.
+	ErrInvalidFormat = errors.New("qrcode: invalid format information")
+	// ErrNotFound indicates no QR code could be located in a raster image.
+	ErrNotFound      = errors.New("qrcode: no QR code found in image")
+	errUncorrectable = errors.New("qrcode: uncorrectable codeword")
+)
+
+// ECLevel is a QR error-correction level.
+type ECLevel int
+
+// Error-correction levels in increasing redundancy order.
+const (
+	ECLow ECLevel = iota + 1
+	ECMedium
+	ECQuartile
+	ECHigh
+)
+
+// String returns the standard single-letter level name.
+func (l ECLevel) String() string {
+	switch l {
+	case ECLow:
+		return "L"
+	case ECMedium:
+		return "M"
+	case ECQuartile:
+		return "Q"
+	case ECHigh:
+		return "H"
+	default:
+		return "?"
+	}
+}
+
+// formatBits returns the two-bit indicator used in format information.
+func (l ECLevel) formatBits() int {
+	switch l {
+	case ECLow:
+		return 0b01
+	case ECMedium:
+		return 0b00
+	case ECQuartile:
+		return 0b11
+	case ECHigh:
+		return 0b10
+	default:
+		return 0b01
+	}
+}
+
+func ecLevelFromFormatBits(b int) ECLevel {
+	switch b {
+	case 0b01:
+		return ECLow
+	case 0b00:
+		return ECMedium
+	case 0b11:
+		return ECQuartile
+	default:
+		return ECHigh
+	}
+}
+
+// MaxVersion is the largest QR version this codec supports. Version 10
+// (57x57 modules) holds up to 271 bytes at level L — ample for phishing
+// URLs, which the paper shows are typically short tokenized paths.
+const MaxVersion = 10
+
+// blockSpec describes one group of Reed-Solomon blocks.
+type blockSpec struct {
+	Num  int // number of blocks in this group
+	Data int // data codewords per block
+}
+
+// versionEC describes the EC structure of one version at one level.
+type versionEC struct {
+	ECPerBlock int
+	Groups     []blockSpec
+}
+
+// DataCodewords returns the total data codeword capacity.
+func (v versionEC) DataCodewords() int {
+	var n int
+	for _, g := range v.Groups {
+		n += g.Num * g.Data
+	}
+	return n
+}
+
+// TotalBlocks returns the number of RS blocks.
+func (v versionEC) TotalBlocks() int {
+	var n int
+	for _, g := range v.Groups {
+		n += g.Num
+	}
+	return n
+}
+
+// _ecTable is indexed by [version-1][level-1] following ISO/IEC 18004
+// Table 9 for versions 1-10.
+var _ecTable = [MaxVersion][4]versionEC{
+	{ // v1
+		{7, []blockSpec{{1, 19}}},
+		{10, []blockSpec{{1, 16}}},
+		{13, []blockSpec{{1, 13}}},
+		{17, []blockSpec{{1, 9}}},
+	},
+	{ // v2
+		{10, []blockSpec{{1, 34}}},
+		{16, []blockSpec{{1, 28}}},
+		{22, []blockSpec{{1, 22}}},
+		{28, []blockSpec{{1, 16}}},
+	},
+	{ // v3
+		{15, []blockSpec{{1, 55}}},
+		{26, []blockSpec{{1, 44}}},
+		{18, []blockSpec{{2, 17}}},
+		{22, []blockSpec{{2, 13}}},
+	},
+	{ // v4
+		{20, []blockSpec{{1, 80}}},
+		{18, []blockSpec{{2, 32}}},
+		{26, []blockSpec{{2, 24}}},
+		{16, []blockSpec{{4, 9}}},
+	},
+	{ // v5
+		{26, []blockSpec{{1, 108}}},
+		{24, []blockSpec{{2, 43}}},
+		{18, []blockSpec{{2, 15}, {2, 16}}},
+		{22, []blockSpec{{2, 11}, {2, 12}}},
+	},
+	{ // v6
+		{18, []blockSpec{{2, 68}}},
+		{16, []blockSpec{{4, 27}}},
+		{24, []blockSpec{{4, 19}}},
+		{28, []blockSpec{{4, 15}}},
+	},
+	{ // v7
+		{20, []blockSpec{{2, 78}}},
+		{18, []blockSpec{{4, 31}}},
+		{18, []blockSpec{{2, 14}, {4, 15}}},
+		{26, []blockSpec{{4, 13}, {1, 14}}},
+	},
+	{ // v8
+		{24, []blockSpec{{2, 97}}},
+		{22, []blockSpec{{2, 38}, {2, 39}}},
+		{22, []blockSpec{{4, 18}, {2, 19}}},
+		{26, []blockSpec{{4, 14}, {2, 15}}},
+	},
+	{ // v9
+		{30, []blockSpec{{2, 116}}},
+		{22, []blockSpec{{3, 36}, {2, 37}}},
+		{20, []blockSpec{{4, 16}, {4, 17}}},
+		{24, []blockSpec{{4, 12}, {4, 13}}},
+	},
+	{ // v10
+		{18, []blockSpec{{2, 68}, {2, 69}}},
+		{26, []blockSpec{{4, 43}, {1, 44}}},
+		{24, []blockSpec{{6, 19}, {2, 20}}},
+		{28, []blockSpec{{6, 15}, {2, 16}}},
+	},
+}
+
+// ecSpec returns the EC structure for a version and level.
+func ecSpec(version int, level ECLevel) versionEC {
+	return _ecTable[version-1][level-1]
+}
+
+// matrixSize returns the module count per side for a version.
+func matrixSize(version int) int {
+	return 17 + 4*version
+}
+
+// _alignmentCenters lists alignment-pattern center coordinates per version.
+var _alignmentCenters = [MaxVersion][]int{
+	nil,         // v1: none
+	{6, 18},     // v2
+	{6, 22},     // v3
+	{6, 26},     // v4
+	{6, 30},     // v5
+	{6, 34},     // v6
+	{6, 22, 38}, // v7
+	{6, 24, 42}, // v8
+	{6, 26, 46}, // v9
+	{6, 28, 50}, // v10
+}
+
+// remainderBits per version (bits left over after codeword placement).
+var _remainderBits = [MaxVersion]int{0, 7, 7, 7, 7, 7, 0, 0, 0, 0}
+
+// charCountBits returns the width of the character-count field for a mode
+// at a version (versions 1-9 vs 10-26 differ).
+func charCountBits(mode Mode, version int) int {
+	small := version <= 9
+	switch mode {
+	case ModeNumeric:
+		if small {
+			return 10
+		}
+		return 12
+	case ModeAlphanumeric:
+		if small {
+			return 9
+		}
+		return 11
+	default: // byte
+		if small {
+			return 8
+		}
+		return 16
+	}
+}
+
+// bch computes the BCH remainder of value (already shifted) by poly.
+func bch(value, poly int) int {
+	polyDeg := bitLen(poly)
+	for bitLen(value) >= polyDeg {
+		value ^= poly << (bitLen(value) - polyDeg)
+	}
+	return value
+}
+
+func bitLen(v int) int {
+	n := 0
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// formatInfo returns the 15-bit masked format codeword for a level+mask.
+func formatInfo(level ECLevel, mask int) int {
+	data := level.formatBits()<<3 | mask
+	rem := bch(data<<10, 0b10100110111)
+	return (data<<10 | rem) ^ 0b101010000010010
+}
+
+// versionInfo returns the 18-bit version codeword for versions >= 7.
+func versionInfo(version int) int {
+	rem := bch(version<<12, 0b1111100100101)
+	return version<<12 | rem
+}

@@ -1,0 +1,182 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"crawlerbox/internal/crawler"
+)
+
+// Month labels for Figure 2.
+var _months = [10]string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct"}
+
+// RenderDisposition formats the Section V message breakdown.
+func (r *Run) RenderDisposition() string {
+	var sb strings.Builder
+	sb.WriteString("Message disposition (Section V)\n")
+	sb.WriteString("-------------------------------\n")
+	total := 0
+	for _, row := range r.Disposition() {
+		fmt.Fprintf(&sb, "%-22s %6d  (%5.1f%%)\n", row.Label, row.Count, row.Percent)
+		total += row.Count
+	}
+	fmt.Fprintf(&sb, "%-22s %6d\n", "total", total)
+	return sb.String()
+}
+
+// RenderFigure2 formats the monthly volume series as an ASCII bar chart.
+func (r *Run) RenderFigure2() string {
+	series := r.MonthlySeries()
+	maxV := 1
+	for _, v := range series {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 2: scanned messages per month (Jan-Oct 2024)\n")
+	sb.WriteString("---------------------------------------------------\n")
+	for i, v := range series {
+		bar := strings.Repeat("#", v*50/maxV)
+		fmt.Fprintf(&sb, "%s %5d %s\n", _months[i], v, bar)
+	}
+	if f2, err := r.Figure2(); err == nil {
+		fmt.Fprintf(&sb, "mean=%.1f sd=%.1f  (2023 baseline mean=%.1f sd=%.1f)\n",
+			f2.Mean2024, f2.Std2024, f2.Mean2023, f2.Std2023)
+		fmt.Fprintf(&sb, "paired t-test: calendar p=%.4f, rank p=%.4f (paper: p=0.008)\n",
+			f2.TTest.P, f2.TTestRank.P)
+	}
+	return sb.String()
+}
+
+// RenderTable2 formats the TLD distribution.
+func (r *Run) RenderTable2() string {
+	var sb strings.Builder
+	sb.WriteString("Table II: phishing domains per TLD\n")
+	sb.WriteString("----------------------------------\n")
+	sb.WriteString("Rank  TLD        Domains\n")
+	for i, row := range r.Table2() {
+		if i >= 10 {
+			// Collapse the tail like the paper's "Other" row.
+			rest := 0
+			var pct float64
+			for _, rr := range r.Table2()[10:] {
+				rest += rr.Count
+				pct += rr.Percent
+			}
+			fmt.Fprintf(&sb, "%4d  %-9s %4d (%.1f%%)\n", 11, "Other", rest, pct)
+			break
+		}
+		fmt.Fprintf(&sb, "%4d  %-9s %4d (%.1f%%)\n", i+1, row.TLD, row.Count, row.Percent)
+	}
+	return sb.String()
+}
+
+// RenderFigure3 formats the deployment-timeline histograms.
+func (r *Run) RenderFigure3() string {
+	f3, err := r.Figure3()
+	if err != nil {
+		return "Figure 3: " + err.Error() + "\n"
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 3: domain count per time delta under 90 days\n")
+	sb.WriteString("----------------------------------------------------\n")
+	sb.WriteString("days      (A) registration->delivery   (B) cert->delivery\n")
+	for i := 0; i < 9; i++ {
+		fmt.Fprintf(&sb, "%2d-%2d     %4d %-24s %4d %s\n",
+			i*10, (i+1)*10,
+			f3.HistA[i], strings.Repeat("#", min(f3.HistA[i], 24)),
+			f3.HistB[i], strings.Repeat("#", min(f3.HistB[i], 24)))
+	}
+	fmt.Fprintf(&sb, ">90 days  %4d%30d\n", f3.OverA, f3.OverB)
+	fmt.Fprintf(&sb, "median    %.0f h (~%.0f days)%15.0f h (~%.0f days)\n",
+		f3.MedianAHours, f3.MedianAHours/24, f3.MedianBHours, f3.MedianBHours/24)
+	fmt.Fprintf(&sb, "kurtosis  %.1f%31.1f\n", f3.KurtosisA, f3.KurtosisB)
+	return sb.String()
+}
+
+// RenderSpear formats the spear-phishing classification summary.
+func (r *Run) RenderSpear() string {
+	sp := r.Spear()
+	dns := r.DNSVolumes()
+	syn := r.DomainSyntax()
+	var sb strings.Builder
+	sb.WriteString("Spear-phishing classification (Section V-A)\n")
+	sb.WriteString("--------------------------------------------\n")
+	fmt.Fprintf(&sb, "active phishing messages:       %d\n", sp.Active)
+	fmt.Fprintf(&sb, "spear phishing (brand match):   %d (%.1f%%)\n", sp.Spear, sp.SpearPercent)
+	fmt.Fprintf(&sb, "hot-loading brand assets:       %d (%.1f%% of spear)\n", sp.HotLoad, sp.HotLoadPercent)
+	fmt.Fprintf(&sb, "distinct landing URLs:          %d\n", sp.DistinctURLs)
+	fmt.Fprintf(&sb, "distinct landing domains:       %d\n", sp.DistinctDomains)
+	fmt.Fprintf(&sb, "messages/domain mean=%.2f median=%.1f max=%d\n",
+		sp.MeanMsgsPerDomain, sp.MedianMsgsPerDomain, sp.MaxMsgsPerDomain)
+	fmt.Fprintf(&sb, "DNS volume (1-msg domains):     median total=%.1f max-daily=%.1f\n",
+		dns.SingleMedianTotal, dns.SingleMedianMax)
+	fmt.Fprintf(&sb, "DNS volume (multi-msg domains): median total=%.1f max-daily=%.1f\n",
+		dns.MultiMedianTotal, dns.MultiMedianMax)
+	fmt.Fprintf(&sb, "top DNS totals:                 %v\n", dns.Top3Totals)
+	fmt.Fprintf(&sb, "deceptive domain syntax:        %d/%d (%.1f%%), punycode %d\n",
+		syn.Deceptive, syn.Domains, syn.Percent, syn.Punycode)
+	return sb.String()
+}
+
+// RenderCloaks formats the evasion-prevalence table.
+func (r *Run) RenderCloaks() string {
+	var sb strings.Builder
+	sb.WriteString("Evasion technique prevalence (Section V-C)\n")
+	sb.WriteString("-------------------------------------------\n")
+	for _, row := range r.CloakPrevalence() {
+		fmt.Fprintf(&sb, "%-22s %5d messages\n", row.Technique, row.Messages)
+	}
+	ts, rc := r.TurnstileShare()
+	fmt.Fprintf(&sb, "Turnstile share of credential harvesting: %.1f%%\n", ts)
+	fmt.Fprintf(&sb, "reCAPTCHA share of credential harvesting: %.1f%%\n", rc)
+	return sb.String()
+}
+
+// RenderNonTargeted formats the Section V-B brand breakdown.
+func (r *Run) RenderNonTargeted() string {
+	var sb strings.Builder
+	sb.WriteString("Non-targeted impersonated brands (Section V-B, by page title)\n")
+	sb.WriteString("--------------------------------------------------------------\n")
+	for _, row := range r.NonTargetedBrands() {
+		fmt.Fprintf(&sb, "%-18s %4d domains\n", row.Brand, row.Domains)
+	}
+	return sb.String()
+}
+
+// RenderTable1 formats the crawler assessment matrix.
+func RenderTable1(a *crawler.Assessment) string {
+	var sb strings.Builder
+	sb.WriteString("Table I: crawlers vs bot-detection services (v = pass, x = detected)\n")
+	sb.WriteString(strings.Repeat("-", 70) + "\n")
+	fmt.Fprintf(&sb, "%-12s", "Tool")
+	for _, k := range crawler.AllKinds {
+		fmt.Fprintf(&sb, " %-12s", truncate(k.String(), 12))
+	}
+	sb.WriteString("\n")
+	for _, det := range crawler.AllDetectors {
+		fmt.Fprintf(&sb, "%-12s", det)
+		for _, k := range crawler.AllKinds {
+			cell := a.Cell(k, det)
+			mark := "x"
+			if cell.Passed {
+				mark = "v"
+				if cell.HeadlessOnlyFail {
+					mark = "v*"
+				}
+			}
+			fmt.Fprintf(&sb, " %-12s", mark)
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("(*) passes only in non-headless mode\n")
+	return sb.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "."
+}

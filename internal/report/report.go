@@ -1,0 +1,563 @@
+// Package report runs the CrawlerBox pipeline over a generated corpus and
+// aggregates the paper's tables and figures: the message-disposition
+// breakdown, Figure 2's monthly series with the 2023-vs-2024 paired t-test,
+// Table II's TLD distribution, Figure 3's deployment-timeline histograms
+// with medians and kurtosis, the passive-DNS volume medians, the
+// domain-syntax census, the spear-phishing and hot-loading shares, and the
+// cloaking-prevalence table.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"crawlerbox/internal/browser"
+	"crawlerbox/internal/crawlerbox"
+	"crawlerbox/internal/dataset"
+	"crawlerbox/internal/htmlx"
+	"crawlerbox/internal/stats"
+	"crawlerbox/internal/urlx"
+	"crawlerbox/internal/whois"
+)
+
+// Run couples a corpus with its per-message pipeline analyses.
+type Run struct {
+	Corpus   *dataset.Corpus
+	Analyses []*crawlerbox.MessageAnalysis
+	// Errors counts messages whose analysis failed outright.
+	Errors int
+}
+
+// Analyze runs the pipeline over every corpus message in delivery order,
+// advancing the virtual clock to each message's delivery time first (the
+// paper analyzes messages as soon as they are reported).
+func Analyze(c *dataset.Corpus) (*Run, error) {
+	pipe := crawlerbox.New(c.Net, c.Registry)
+	brands := make([]string, 0, len(c.BrandURLs))
+	for b := range c.BrandURLs {
+		brands = append(brands, b)
+	}
+	sort.Strings(brands)
+	for _, b := range brands {
+		if err := pipe.AddReference(b, c.BrandURLs[b]); err != nil {
+			return nil, fmt.Errorf("report: reference %s: %w", b, err)
+		}
+	}
+	run := &Run{Corpus: c}
+	for i := range c.Messages {
+		m := &c.Messages[i]
+		c.Net.Clock.Set(m.Delivered.Add(2 * time.Hour))
+		ma, err := pipe.AnalyzeMessage(m.Raw)
+		if err != nil {
+			run.Errors++
+			run.Analyses = append(run.Analyses, nil)
+			continue
+		}
+		run.Analyses = append(run.Analyses, ma)
+	}
+	return run, nil
+}
+
+// DispositionRow is one row of the Section V breakdown.
+type DispositionRow struct {
+	Label   string
+	Count   int
+	Percent float64
+}
+
+// Disposition aggregates outcomes, merging cloaked-benign into the error/
+// inaccessible row the way the paper's accounting does.
+func (r *Run) Disposition() []DispositionRow {
+	counts := map[string]int{}
+	total := 0
+	for _, ma := range r.Analyses {
+		if ma == nil {
+			continue
+		}
+		total++
+		label := ma.Outcome.String()
+		if ma.Outcome == crawlerbox.OutcomeCloaked {
+			label = crawlerbox.OutcomeError.String()
+		}
+		counts[label]++
+	}
+	order := []string{
+		crawlerbox.OutcomeNoResource.String(),
+		crawlerbox.OutcomeError.String(),
+		crawlerbox.OutcomeInteraction.String(),
+		crawlerbox.OutcomeDownload.String(),
+		crawlerbox.OutcomeActivePhish.String(),
+	}
+	out := make([]DispositionRow, 0, len(order))
+	for _, label := range order {
+		row := DispositionRow{Label: label, Count: counts[label]}
+		if total > 0 {
+			row.Percent = 100 * float64(row.Count) / float64(total)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// MonthlySeries returns Figure 2's per-month scanned-message counts.
+func (r *Run) MonthlySeries() [10]int {
+	var out [10]int
+	for _, m := range r.Corpus.Messages {
+		if m.Month >= 0 && m.Month < 10 {
+			out[m.Month]++
+		}
+	}
+	return out
+}
+
+// Figure2Stats carries the volume statistics the paper reports with Fig 2.
+type Figure2Stats struct {
+	Mean2024, Std2024 float64
+	Mean2023, Std2023 float64
+	// TTest pairs the two windows in calendar order. Note: the paper's
+	// published monthly aggregates (means, sigmas, and the final-quarter
+	// 2023 values) cannot produce its p = 0.008 under calendar pairing —
+	// the 2023 tail spike dominates the difference variance; see
+	// EXPERIMENTS.md.
+	TTest stats.TTestResult
+	// TTestRank pairs the series by rank (largest month vs largest month),
+	// the distribution-level comparison that does reach high significance.
+	TTestRank stats.TTestResult
+}
+
+// Figure2 computes the monthly statistics and the paired t-tests against
+// the 2023 baseline (scaled alongside the corpus).
+func (r *Run) Figure2() (Figure2Stats, error) {
+	series := r.MonthlySeries()
+	y24 := stats.IntsToFloats(series[:])
+	scale := float64(len(r.Corpus.Messages)) / float64(dataset.TotalMessages)
+	y23 := make([]float64, 10)
+	for i, v := range dataset.Monthly2023 {
+		y23[i] = float64(v) * scale
+	}
+	tt, err := stats.PairedTTest(y23, y24)
+	if err != nil {
+		return Figure2Stats{}, err
+	}
+	s23 := append([]float64{}, y23...)
+	s24 := append([]float64{}, y24...)
+	sort.Float64s(s23)
+	sort.Float64s(s24)
+	ttRank, err := stats.PairedTTest(s23, s24)
+	if err != nil {
+		return Figure2Stats{}, err
+	}
+	return Figure2Stats{
+		Mean2024: stats.Mean(y24), Std2024: stats.StdDev(y24),
+		Mean2023: stats.Mean(y23), Std2023: stats.StdDev(y23),
+		TTest:     tt,
+		TTestRank: ttRank,
+	}, nil
+}
+
+// landingDomains groups active-phish analyses by registrable landing domain.
+func (r *Run) landingDomains() map[string][]*crawlerbox.MessageAnalysis {
+	out := map[string][]*crawlerbox.MessageAnalysis{}
+	for _, ma := range r.Analyses {
+		if ma == nil || ma.Outcome != crawlerbox.OutcomeActivePhish || ma.Landing == nil {
+			continue
+		}
+		out[ma.Landing.Registrable] = append(out[ma.Landing.Registrable], ma)
+	}
+	return out
+}
+
+// Table2 returns the TLD distribution over the crawled landing domains.
+func (r *Run) Table2() []urlx.TLDCount {
+	var hosts []string
+	for _, ma := range r.Analyses {
+		if ma == nil || ma.Landing == nil {
+			continue
+		}
+		hosts = append(hosts, ma.Landing.Host)
+	}
+	hosts = dedupe(hosts)
+	return urlx.TLDDistribution(hosts)
+}
+
+// TimelineStats carries Figure 3's summary statistics.
+type TimelineStats struct {
+	// Hist counts per 10-day bin under 90 days.
+	HistA, HistB               [9]int
+	MedianAHours, MedianBHours float64
+	KurtosisA, KurtosisB       float64
+	OverA, OverB               int // domains beyond 90 days
+	DomainCount                int
+}
+
+// Figure3 joins each landing domain's WHOIS registration and certificate
+// issuance against the mean delivery time of its messages.
+func (r *Run) Figure3() (TimelineStats, error) {
+	groups := r.landingDomains()
+	var deltaA, deltaB []float64
+	for _, analyses := range groups {
+		var sumUnix int64
+		var reg, cert time.Time
+		var haveReg, haveCert bool
+		for _, ma := range analyses {
+			sumUnix += ma.AnalyzedAt.Unix()
+			if ma.Landing.Whois != nil {
+				reg = ma.Landing.Whois.Registered
+				haveReg = true
+			}
+			if ma.Landing.Cert != nil {
+				cert = ma.Landing.Cert.IssuedAt
+				haveCert = true
+			}
+		}
+		avgDelivery := time.Unix(sumUnix/int64(len(analyses)), 0)
+		if haveReg {
+			deltaA = append(deltaA, avgDelivery.Sub(reg).Hours())
+		}
+		if haveCert {
+			deltaB = append(deltaB, avgDelivery.Sub(cert).Hours())
+		}
+	}
+	out := TimelineStats{DomainCount: len(groups)}
+	const ninetyDaysHours = 90 * 24
+	fill := func(xs []float64, hist *[9]int, over *int) {
+		for _, x := range xs {
+			if x >= ninetyDaysHours {
+				*over++
+				continue
+			}
+			bin := int(x / (10 * 24))
+			if bin < 0 {
+				bin = 0
+			}
+			if bin > 8 {
+				bin = 8
+			}
+			hist[bin]++
+		}
+	}
+	fill(deltaA, &out.HistA, &out.OverA)
+	fill(deltaB, &out.HistB, &out.OverB)
+	var err error
+	if out.MedianAHours, err = stats.Median(deltaA); err != nil {
+		return out, err
+	}
+	if out.MedianBHours, err = stats.Median(deltaB); err != nil {
+		return out, err
+	}
+	if out.KurtosisA, err = stats.Kurtosis(deltaA); err != nil {
+		return out, err
+	}
+	if out.KurtosisB, err = stats.Kurtosis(deltaB); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// SpearStats carries the Section V-A classification shares.
+type SpearStats struct {
+	Active, Spear, HotLoad int
+	SpearPercent           float64
+	HotLoadPercent         float64
+	DistinctDomains        int
+	DistinctURLs           int
+	MeanMsgsPerDomain      float64
+	MedianMsgsPerDomain    float64
+	MaxMsgsPerDomain       int
+}
+
+// Spear aggregates the spear-phishing classification results.
+func (r *Run) Spear() SpearStats {
+	out := SpearStats{}
+	urls := map[string]bool{}
+	for _, ma := range r.Analyses {
+		if ma == nil || ma.Outcome != crawlerbox.OutcomeActivePhish {
+			continue
+		}
+		out.Active++
+		if ma.SpearPhish {
+			out.Spear++
+			if ma.HotLoadsRef || hotLoads(ma) {
+				out.HotLoad++
+			}
+		}
+		if ma.Landing != nil {
+			urls[ma.Landing.URL] = true
+		}
+	}
+	groups := r.landingDomains()
+	out.DistinctDomains = len(groups)
+	out.DistinctURLs = len(urls)
+	if out.Active > 0 {
+		out.SpearPercent = 100 * float64(out.Spear) / float64(out.Active)
+	}
+	if out.Spear > 0 {
+		out.HotLoadPercent = 100 * float64(out.HotLoad) / float64(out.Spear)
+	}
+	var counts []float64
+	maxC := 0
+	for _, g := range groups {
+		counts = append(counts, float64(len(g)))
+		if len(g) > maxC {
+			maxC = len(g)
+		}
+	}
+	out.MaxMsgsPerDomain = maxC
+	out.MeanMsgsPerDomain = stats.Mean(counts)
+	out.MedianMsgsPerDomain, _ = stats.Median(counts)
+	return out
+}
+
+// hotLoads detects hot-loaded brand assets from the recorded traffic.
+func hotLoads(ma *crawlerbox.MessageAnalysis) bool {
+	for _, v := range ma.Visits {
+		if v.Result == nil {
+			continue
+		}
+		for _, req := range v.Result.Requests {
+			if (req.Initiator == "img" || req.Initiator == "stylesheet") &&
+				strings.Contains(req.URL, ".example/assets/") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DNSStats carries the Umbrella-style medians.
+type DNSStats struct {
+	SingleMedianTotal, SingleMedianMax float64
+	MultiMedianTotal, MultiMedianMax   float64
+	Top3Totals                         []int
+}
+
+// DNSVolumes computes passive-DNS medians for single- vs multi-message
+// landing domains, excluding compromised and abused-service hosts the way
+// the paper filters them.
+func (r *Run) DNSVolumes() DNSStats {
+	groups := r.landingDomains()
+	var st, sm, mt, mm []float64
+	var totals []int
+	for _, analyses := range groups {
+		first := analyses[0]
+		if first.Landing.Whois != nil && first.Landing.Whois.Provenance != whois.ProvenanceFresh {
+			continue
+		}
+		total := float64(first.Landing.DNS30DayTotal)
+		maxDaily := float64(first.Landing.DNSMaxDaily)
+		totals = append(totals, first.Landing.DNS30DayTotal)
+		if len(analyses) == 1 {
+			st = append(st, total)
+			sm = append(sm, maxDaily)
+		} else {
+			mt = append(mt, total)
+			mm = append(mm, maxDaily)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(totals)))
+	if len(totals) > 3 {
+		totals = totals[:3]
+	}
+	out := DNSStats{Top3Totals: totals}
+	out.SingleMedianTotal, _ = stats.Median(st)
+	out.SingleMedianMax, _ = stats.Median(sm)
+	out.MultiMedianTotal, _ = stats.Median(mt)
+	out.MultiMedianMax, _ = stats.Median(mm)
+	return out
+}
+
+// SyntaxStats counts deceptive domain syntax among landing domains.
+type SyntaxStats struct {
+	Domains   int
+	Deceptive int
+	Percent   float64
+	Punycode  int
+}
+
+// DomainSyntax runs the deception analyzer over every landing host.
+func (r *Run) DomainSyntax() SyntaxStats {
+	analyzer := urlx.NewDeceptionAnalyzer([]string{
+		"acme", "acmetraveltech", "skybooker", "farewell", "transitgo",
+		"payroute", "microsoft", "onedrive", "office", "docusign", "excel",
+	})
+	seen := map[string]bool{}
+	out := SyntaxStats{}
+	for _, ma := range r.Analyses {
+		if ma == nil || ma.Landing == nil || seen[ma.Landing.Host] {
+			continue
+		}
+		seen[ma.Landing.Host] = true
+		out.Domains++
+		techniques := analyzer.Analyze(ma.Landing.Host)
+		if len(techniques) > 0 {
+			out.Deceptive++
+		}
+		for _, tech := range techniques {
+			if tech == urlx.DeceptionPunycode {
+				out.Punycode++
+			}
+		}
+	}
+	if out.Domains > 0 {
+		out.Percent = 100 * float64(out.Deceptive) / float64(out.Domains)
+	}
+	return out
+}
+
+// CloakRow is one row of the evasion-prevalence table.
+type CloakRow struct {
+	Technique string
+	Messages  int
+}
+
+// CloakPrevalence counts evasion techniques across active-phish messages.
+func (r *Run) CloakPrevalence() []CloakRow {
+	counts := map[string]int{}
+	for i, ma := range r.Analyses {
+		if ma == nil {
+			continue
+		}
+		c := ma.Cloaks
+		add := func(name string, present bool) {
+			if present {
+				counts[name]++
+			}
+		}
+		add("turnstile", c.Turnstile)
+		add("recaptcha", c.ReCaptcha)
+		add("fingerprint-gate", c.FingerprintGate)
+		add("interaction-gate", c.InteractionGate)
+		add("delayed-reveal", c.DelayedReveal)
+		add("otp-prompt", c.OTPPrompt)
+		add("math-challenge", c.MathChallenge)
+		add("console-hijack", c.ConsoleHijack)
+		add("debugger-timer", c.DebuggerTimer)
+		add("hue-rotate", c.HueRotate)
+		add("victim-check", c.VictimCheck)
+		add("fingerprint-library", c.FingerprintLib)
+		add("exfil-httpbin", c.ExfilHTTPBin)
+		add("exfil-ipapi", c.ExfilIPAPI)
+		add("tokenized-url", c.TokenizedURL)
+		add("noise-padding", ma.Parse.NoisePadded)
+		add("faulty-qr", ma.Parse.FaultyQR)
+		_ = i
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if counts[names[i]] != counts[names[j]] {
+			return counts[names[i]] > counts[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	out := make([]CloakRow, 0, len(names))
+	for _, n := range names {
+		out = append(out, CloakRow{Technique: n, Messages: counts[n]})
+	}
+	return out
+}
+
+// BrandRow is one row of the non-targeted impersonation breakdown.
+type BrandRow struct {
+	Brand   string
+	Domains int
+}
+
+// NonTargetedBrands classifies the non-spear active-phish landing pages by
+// the brand named in their page titles — the crawl-derived version of the
+// paper's Section V-B manual review (Microsoft 44, Excel 20, OneDrive 12,
+// Office 365 11, DocuSign 1, others 42).
+func (r *Run) NonTargetedBrands() []BrandRow {
+	known := []string{"MICROSOFT EXCEL", "ONEDRIVE", "OFFICE 365", "DOCUSIGN", "MICROSOFT"}
+	counts := map[string]int{}
+	seen := map[string]bool{}
+	for _, ma := range r.Analyses {
+		if ma == nil || ma.Outcome != crawlerbox.OutcomeActivePhish ||
+			ma.SpearPhish || ma.Landing == nil || seen[ma.Landing.Registrable] {
+			continue
+		}
+		seen[ma.Landing.Registrable] = true
+		title := landingTitle(ma)
+		brand := "OTHER"
+		for _, k := range known {
+			if strings.Contains(title, k) {
+				brand = k
+				break
+			}
+		}
+		counts[brand]++
+	}
+	var out []BrandRow
+	for b, c := range counts {
+		out = append(out, BrandRow{Brand: b, Domains: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Domains != out[j].Domains {
+			return out[i].Domains > out[j].Domains
+		}
+		return out[i].Brand < out[j].Brand
+	})
+	return out
+}
+
+// landingTitle returns the upper-cased <title> of the phishing visit.
+func landingTitle(ma *crawlerbox.MessageAnalysis) string {
+	for _, v := range ma.Visits {
+		if v.Result == nil || v.Result.DOM == nil {
+			continue
+		}
+		for _, t := range htmlxFind(v.Result) {
+			return strings.ToUpper(t)
+		}
+	}
+	return ""
+}
+
+// TurnstileShare returns the Turnstile and reCAPTCHA shares over the
+// credential-harvesting messages (the paper's 74.4% / 24.8%).
+func (r *Run) TurnstileShare() (turnstilePct, recaptchaPct float64) {
+	var cred, ts, rc int
+	for _, ma := range r.Analyses {
+		if ma == nil || ma.Outcome != crawlerbox.OutcomeActivePhish {
+			continue
+		}
+		cred++
+		if ma.Cloaks.Turnstile {
+			ts++
+		}
+		if ma.Cloaks.ReCaptcha {
+			rc++
+		}
+	}
+	if cred == 0 {
+		return 0, 0
+	}
+	return 100 * float64(ts) / float64(cred), 100 * float64(rc) / float64(cred)
+}
+
+// htmlxFind extracts title texts from a visit result.
+func htmlxFind(res *browser.Result) []string {
+	var out []string
+	for _, n := range htmlx.Find(res.DOM, "title") {
+		if t := strings.TrimSpace(n.InnerText()); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func dedupe(xs []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package urlx
+
+import (
+	"strings"
+)
+
+// DeceptionTechnique identifies a deceptive domain-syntax trick.
+type DeceptionTechnique int
+
+// The deceptive techniques the paper measures on landing domains
+// (Section V-A: only 15.7% of spear-phishing domains used any of them).
+const (
+	DeceptionTyposquatting DeceptionTechnique = iota + 1
+	DeceptionCombosquatting
+	DeceptionTargetEmbedding
+	DeceptionHomoglyph
+	DeceptionKeywordStuffing
+	DeceptionPunycode
+)
+
+// String returns the technique name.
+func (d DeceptionTechnique) String() string {
+	switch d {
+	case DeceptionTyposquatting:
+		return "typosquatting"
+	case DeceptionCombosquatting:
+		return "combosquatting"
+	case DeceptionTargetEmbedding:
+		return "target-embedding"
+	case DeceptionHomoglyph:
+		return "homoglyph"
+	case DeceptionKeywordStuffing:
+		return "keyword-stuffing"
+	case DeceptionPunycode:
+		return "punycode"
+	default:
+		return "unknown"
+	}
+}
+
+// _phishKeywords are generic credential-lure tokens used to detect keyword
+// stuffing (domains packed with security-themed words).
+var _phishKeywords = []string{
+	"login", "signin", "sign-in", "secure", "security", "verify",
+	"verification", "account", "update", "auth", "authenticate",
+	"password", "webmail", "support", "confirm", "billing", "portal",
+}
+
+// _homoglyphs maps confusable characters to the ASCII letters they imitate.
+var _homoglyphs = map[rune]rune{
+	'0': 'o', '1': 'l', '3': 'e', '4': 'a', '5': 's', '7': 't',
+	'а': 'a', 'е': 'e', 'о': 'o', 'р': 'p', 'с': 'c', 'х': 'x', // Cyrillic
+	'ı': 'i', 'ö': 'o', 'ü': 'u', 'é': 'e', 'è': 'e', 'à': 'a',
+}
+
+// DeceptionAnalyzer detects deceptive syntax relative to a set of protected
+// brand names (e.g., the five companies under study plus impersonated SaaS
+// brands such as "microsoft" or "docusign").
+type DeceptionAnalyzer struct {
+	brands []string
+}
+
+// NewDeceptionAnalyzer returns an analyzer for the given brand tokens.
+// Brands are matched case-insensitively.
+func NewDeceptionAnalyzer(brands []string) *DeceptionAnalyzer {
+	lowered := make([]string, 0, len(brands))
+	for _, b := range brands {
+		b = strings.ToLower(strings.TrimSpace(b))
+		if b != "" {
+			lowered = append(lowered, b)
+		}
+	}
+	return &DeceptionAnalyzer{brands: lowered}
+}
+
+// Analyze reports every deceptive technique detected in host.
+func (a *DeceptionAnalyzer) Analyze(host string) []DeceptionTechnique {
+	host = strings.ToLower(host)
+	d := ParseDomain(host)
+	var found []DeceptionTechnique
+	if a.isPunycode(host) {
+		found = append(found, DeceptionPunycode)
+	}
+	core := registrableCore(d.Registrable)
+	if a.isTyposquat(core) {
+		found = append(found, DeceptionTyposquatting)
+	}
+	if a.isCombosquat(core) {
+		found = append(found, DeceptionCombosquatting)
+	}
+	if a.isTargetEmbedding(host, d) {
+		found = append(found, DeceptionTargetEmbedding)
+	}
+	if a.isHomoglyph(core) {
+		found = append(found, DeceptionHomoglyph)
+	}
+	if a.isKeywordStuffing(core) {
+		found = append(found, DeceptionKeywordStuffing)
+	}
+	return found
+}
+
+// IsDeceptive reports whether any technique was detected.
+func (a *DeceptionAnalyzer) IsDeceptive(host string) bool {
+	return len(a.Analyze(host)) > 0
+}
+
+// registrableCore strips the TLD from a registrable domain:
+// "evil-site.co.uk" -> "evil-site".
+func registrableCore(registrable string) string {
+	if idx := strings.IndexByte(registrable, '.'); idx >= 0 {
+		return registrable[:idx]
+	}
+	return registrable
+}
+
+func (a *DeceptionAnalyzer) isPunycode(host string) bool {
+	for _, label := range strings.Split(host, ".") {
+		if strings.HasPrefix(label, "xn--") {
+			return true
+		}
+	}
+	return false
+}
+
+// isTyposquat detects edit-distance-1 misspellings of a brand in the
+// registrable core, excluding exact brand matches (which are legitimate).
+func (a *DeceptionAnalyzer) isTyposquat(core string) bool {
+	for _, b := range a.brands {
+		if core == b {
+			continue
+		}
+		if len(b) >= 4 && levenshtein(core, b) == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// isCombosquat detects a full brand token combined with extra words in the
+// registrable core, e.g. "acmetravel-login".
+func (a *DeceptionAnalyzer) isCombosquat(core string) bool {
+	for _, b := range a.brands {
+		if core == b || len(b) < 4 {
+			continue
+		}
+		if strings.Contains(core, b) && len(core) > len(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// isTargetEmbedding detects the brand appearing as a subdomain label of an
+// unrelated registrable domain, e.g. "acmetravel.evil-host.com".
+func (a *DeceptionAnalyzer) isTargetEmbedding(host string, d Domain) bool {
+	if d.Registrable == "" || host == d.Registrable {
+		return false
+	}
+	sub := strings.TrimSuffix(host, "."+d.Registrable)
+	if sub == host {
+		return false
+	}
+	core := registrableCore(d.Registrable)
+	for _, b := range a.brands {
+		if len(b) < 4 || strings.Contains(core, b) {
+			continue // brand in the registrable part is combosquatting instead
+		}
+		for _, label := range strings.Split(sub, ".") {
+			if strings.Contains(label, b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isHomoglyph detects confusable-character substitutions of a brand.
+func (a *DeceptionAnalyzer) isHomoglyph(core string) bool {
+	normalized := normalizeHomoglyphs(core)
+	if normalized == core {
+		return false
+	}
+	for _, b := range a.brands {
+		if len(b) < 4 {
+			continue
+		}
+		if normalized == b || strings.Contains(normalized, b) ||
+			levenshtein(normalized, b) == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+func normalizeHomoglyphs(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for _, r := range s {
+		if repl, ok := _homoglyphs[r]; ok {
+			sb.WriteRune(repl)
+		} else {
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// isKeywordStuffing detects two or more distinct phishing keywords in the
+// registrable core.
+func (a *DeceptionAnalyzer) isKeywordStuffing(core string) bool {
+	var hits int
+	for _, kw := range _phishKeywords {
+		if strings.Contains(core, kw) {
+			hits++
+			if hits >= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// levenshtein returns the restricted Damerau-Levenshtein distance between a
+// and b: insertions, deletions, substitutions, and adjacent transpositions
+// each cost 1. Typosquatting detectors use this metric because fat-finger
+// swaps ("fra" for "far") are among the most common squat mutations.
+func levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	// Three rolling rows: i-2, i-1, i (the transposition case reads i-2).
+	prev2 := make([]int, len(rb)+1)
+	prev := make([]int, len(rb)+1)
+	curr := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		curr[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			d := min3(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := prev2[j-2] + 1; t < d {
+					d = t
+				}
+			}
+			curr[j] = d
+		}
+		prev2, prev, curr = prev, curr, prev2
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

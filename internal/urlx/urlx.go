@@ -1,0 +1,352 @@
+// Package urlx implements URL discovery and domain-syntax analysis for the
+// CrawlerBox pipeline.
+//
+// Two extraction modes reproduce the divergence that the paper found being
+// exploited in the wild (Section V-C1, "faulty QR codes"): a strict extractor
+// modelled on email-security parsers, which only accepts strings that are
+// syntactically valid URLs from their first byte, and a lenient extractor
+// modelled on mobile camera apps, which locates a "http(s)://" scheme
+// anywhere inside the payload and silently discards junk prefixes such as
+// "xxx https://evil.example/" or "[https://evil.example/".
+//
+// The package also classifies the deceptive domain-syntax techniques the
+// paper measures (combosquatting, target embedding, homoglyphs, keyword
+// stuffing, typosquatting, punycode) — found on only 15.7% of spear-phishing
+// landing domains, which is itself an evasion signal.
+package urlx
+
+import (
+	"net/url"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Extraction reports where a URL was found inside a larger payload.
+type Extraction struct {
+	// URL is the normalized absolute URL.
+	URL string
+	// Offset is the byte offset of the scheme inside the payload.
+	Offset int
+	// JunkPrefix is true when non-URL bytes preceded the scheme and a
+	// strict parser anchored at the start of the payload would have failed.
+	JunkPrefix bool
+}
+
+// schemes recognized by both extractors.
+var _schemes = []string{"https://", "http://"}
+
+// ExtractStrict scans text and returns every URL that a conservative
+// email-security parser would find: the scheme must start either at the
+// beginning of the payload or after a URL delimiter (whitespace, quotes,
+// angle brackets, parentheses), and the authority must be non-empty with a
+// syntactically valid host.
+//
+// Crucially — and this is the bug the paper found exploited in the wild —
+// a payload consisting of a single token such as "xxx https://evil.com" that
+// is scanned as one opaque unit (e.g., the decoded contents of a QR code)
+// yields nothing, because the strict parser requires the entire payload to
+// be a URL. Use ExtractStrictWhole for that behaviour.
+func ExtractStrict(text string) []Extraction {
+	var out []Extraction
+	for i := 0; i < len(text); {
+		idx, scheme := findScheme(text[i:])
+		if idx < 0 {
+			break
+		}
+		pos := i + idx
+		if pos > 0 && !isURLDelimiter(rune(text[pos-1])) {
+			// Scheme glued to preceding junk: strict parsers reject it.
+			i = pos + len(scheme)
+			continue
+		}
+		raw := sliceURL(text[pos:])
+		if u, ok := validateURL(raw); ok {
+			out = append(out, Extraction{URL: u, Offset: pos})
+		}
+		i = pos + len(raw)
+		if len(raw) == 0 {
+			i = pos + len(scheme)
+		}
+	}
+	return out
+}
+
+// ExtractStrictWhole treats the entire payload as one candidate URL, the way
+// email-filter QR-code handlers treat a decoded QR payload. It returns the
+// URL and true only when the payload is a valid URL from its very first
+// byte (modulo surrounding ASCII whitespace trimming, which real parsers do).
+func ExtractStrictWhole(payload string) (string, bool) {
+	trimmed := strings.TrimSpace(payload)
+	if _, s := hasSchemePrefix(trimmed); s == "" {
+		return "", false
+	}
+	raw := sliceURL(trimmed)
+	if raw != trimmed {
+		// Trailing junk after the URL also fails whole-payload validation.
+		return "", false
+	}
+	return validateOrEmpty(raw)
+}
+
+// ExtractLenient mimics mobile camera QR handlers: it searches for a scheme
+// anywhere in the payload, ignores whatever precedes it, and extracts the
+// longest syntactically plausible URL starting there. This is why a QR code
+// encoding "xxx https://evil.example/" still opens the malicious page on a
+// phone while the mail filter sees nothing.
+func ExtractLenient(payload string) []Extraction {
+	var out []Extraction
+	for i := 0; i < len(payload); {
+		idx, scheme := findScheme(payload[i:])
+		if idx < 0 {
+			break
+		}
+		pos := i + idx
+		raw := sliceURL(payload[pos:])
+		if u, ok := validateURL(raw); ok {
+			junk := pos > 0 && !isURLDelimiter(rune(payload[pos-1]))
+			// Any preceding non-whitespace bytes at payload start also count
+			// as junk context for whole-payload scanning.
+			if pos > 0 && strings.TrimSpace(payload[:pos]) != "" {
+				junk = true
+			}
+			out = append(out, Extraction{URL: u, Offset: pos, JunkPrefix: junk})
+		}
+		i = pos + len(raw)
+		if len(raw) == 0 {
+			i = pos + len(scheme)
+		}
+	}
+	return out
+}
+
+func findScheme(s string) (int, string) {
+	best := -1
+	var bestScheme string
+	for _, scheme := range _schemes {
+		if idx := indexFold(s, scheme); idx >= 0 && (best < 0 || idx < best) {
+			best = idx
+			bestScheme = scheme
+		}
+	}
+	return best, bestScheme
+}
+
+func hasSchemePrefix(s string) (string, string) {
+	for _, scheme := range _schemes {
+		if len(s) >= len(scheme) && strings.EqualFold(s[:len(scheme)], scheme) {
+			return s[len(scheme):], scheme
+		}
+	}
+	return s, ""
+}
+
+// indexFold is a case-insensitive strings.Index for ASCII needles.
+func indexFold(s, needle string) int {
+	n := len(needle)
+	if n == 0 {
+		return 0
+	}
+	for i := 0; i+n <= len(s); i++ {
+		if strings.EqualFold(s[i:i+n], needle) {
+			return i
+		}
+	}
+	return -1
+}
+
+func isURLDelimiter(r rune) bool {
+	switch r {
+	case ' ', '\t', '\n', '\r', '"', '\'', '<', '>', '(', ')', '[', ']', '{', '}', ',', ';':
+		return true
+	}
+	return unicode.IsSpace(r)
+}
+
+// sliceURL returns the prefix of s (which must start with a scheme) that
+// constitutes the URL: it stops at whitespace, quotes, and angle brackets,
+// then strips common trailing punctuation that belongs to prose.
+func sliceURL(s string) string {
+	end := len(s)
+	for i, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == '"' ||
+			r == '\'' || r == '<' || r == '>' || r == '`' || unicode.IsSpace(r) {
+			end = i
+			break
+		}
+	}
+	raw := s[:end]
+	// Strip trailing prose punctuation: "visit https://x.com/."
+	for len(raw) > 0 {
+		last := raw[len(raw)-1]
+		if strings.ContainsRune(".,;:!?)]}", rune(last)) {
+			raw = raw[:len(raw)-1]
+			continue
+		}
+		break
+	}
+	return raw
+}
+
+func validateURL(raw string) (string, bool) {
+	if raw == "" {
+		return "", false
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", false
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", false
+	}
+	host := u.Hostname()
+	if host == "" || !validHost(host) {
+		return "", false
+	}
+	return u.String(), true
+}
+
+func validateOrEmpty(raw string) (string, bool) {
+	return validateURL(raw)
+}
+
+// validHost accepts DNS names (letters, digits, hyphens, dots) and rejects
+// hosts without a dot unless they are "localhost" or IPv4 literals.
+func validHost(host string) bool {
+	if host == "localhost" {
+		return true
+	}
+	hasDot := false
+	for _, r := range host {
+		switch {
+		case r == '.':
+			hasDot = true
+		case r == '-' || r == '_':
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		default:
+			return false
+		}
+	}
+	if !hasDot {
+		return false
+	}
+	if strings.HasPrefix(host, ".") || strings.HasSuffix(host, ".") ||
+		strings.Contains(host, "..") {
+		return false
+	}
+	return true
+}
+
+// Domain decomposes a host name for TLD statistics (Table II).
+type Domain struct {
+	Host        string // full host, e.g. portal.evil-site.co.uk
+	Registrable string // eTLD+1, e.g. evil-site.co.uk
+	TLD         string // public suffix with leading dot, e.g. .co.uk
+	IsIP        bool
+}
+
+// _multiLabelSuffixes is a compact public-suffix subset sufficient for the
+// TLDs observed in the study plus common multi-label suffixes.
+var _multiLabelSuffixes = map[string]bool{
+	"co.uk": true, "org.uk": true, "ac.uk": true, "gov.uk": true,
+	"com.br": true, "net.br": true, "org.br": true,
+	"com.au": true, "net.au": true, "org.au": true,
+	"co.jp": true, "ne.jp": true, "or.jp": true,
+	"co.in": true, "com.cn": true, "com.ru": true,
+	"com.tr": true, "com.mx": true, "co.za": true,
+	"vercel.app": true, "workers.dev": true, "pages.dev": true,
+	"r2.dev": true, "web.app": true, "github.io": true,
+	"cloudfront.net": true, "oraclecloud.com": true,
+	"cloudflare-ipfs.com": true,
+}
+
+// ParseDomain splits a host into its registrable domain and TLD.
+func ParseDomain(host string) Domain {
+	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	d := Domain{Host: host}
+	if isIPv4(host) {
+		d.IsIP = true
+		d.Registrable = host
+		return d
+	}
+	labels := strings.Split(host, ".")
+	if len(labels) < 2 {
+		d.Registrable = host
+		return d
+	}
+	// Try the longest multi-label suffix first.
+	for take := 3; take >= 2; take-- {
+		if len(labels) > take {
+			suffix := strings.Join(labels[len(labels)-take:], ".")
+			if _multiLabelSuffixes[suffix] {
+				d.TLD = "." + suffix
+				d.Registrable = strings.Join(labels[len(labels)-take-1:], ".")
+				return d
+			}
+		}
+	}
+	d.TLD = "." + labels[len(labels)-1]
+	d.Registrable = strings.Join(labels[len(labels)-2:], ".")
+	return d
+}
+
+func isIPv4(host string) bool {
+	parts := strings.Split(host, ".")
+	if len(parts) != 4 {
+		return false
+	}
+	for _, p := range parts {
+		if p == "" || len(p) > 3 {
+			return false
+		}
+		n := 0
+		for _, r := range p {
+			if r < '0' || r > '9' {
+				return false
+			}
+			n = n*10 + int(r-'0')
+		}
+		if n > 255 {
+			return false
+		}
+	}
+	return true
+}
+
+// TLDCount is one row of the Table II distribution.
+type TLDCount struct {
+	TLD     string
+	Count   int
+	Percent float64
+}
+
+// TLDDistribution aggregates hosts by TLD, sorted by descending count, with
+// percentages over the total — the shape of the paper's Table II.
+func TLDDistribution(hosts []string) []TLDCount {
+	counts := make(map[string]int)
+	for _, h := range hosts {
+		d := ParseDomain(h)
+		tld := d.TLD
+		if d.IsIP {
+			tld = "(ip)"
+		}
+		counts[tld]++
+	}
+	out := make([]TLDCount, 0, len(counts))
+	for tld, c := range counts {
+		out = append(out, TLDCount{TLD: tld, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].TLD < out[j].TLD
+	})
+	total := float64(len(hosts))
+	if total > 0 {
+		for i := range out {
+			out[i].Percent = 100 * float64(out[i].Count) / total
+		}
+	}
+	return out
+}

@@ -1,0 +1,421 @@
+package urlx
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtractStrictBasic(t *testing.T) {
+	tests := []struct {
+		name string
+		text string
+		want []string
+	}{
+		{"plain", "visit https://example.com/login now", []string{"https://example.com/login"}},
+		{"two urls", "a https://a.com b http://b.org c", []string{"https://a.com", "http://b.org"}},
+		{"at start", "https://start.example/x", []string{"https://start.example/x"}},
+		{"angle brackets", "<https://x.example/path>", []string{"https://x.example/path"}},
+		{"trailing period", "see https://x.example/a.", []string{"https://x.example/a"}},
+		{"parenthesized", "(https://x.example/p)", []string{"https://x.example/p"}},
+		{"none", "no links here", nil},
+		{"bad scheme", "ftp://files.example/x", nil},
+		{"no host", "https:///path", nil},
+		{"glued junk rejected", "xxxhttps://evil.example/", nil},
+		{"query and fragment", "go https://x.example/p?a=1#frag end", []string{"https://x.example/p?a=1#frag"}},
+		{"case-insensitive scheme", "HTTPS://UPPER.EXAMPLE/p", []string{"https://UPPER.EXAMPLE/p"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := ExtractStrict(tt.text)
+			var urls []string
+			for _, e := range got {
+				urls = append(urls, e.URL)
+			}
+			if len(urls) != len(tt.want) {
+				t.Fatalf("ExtractStrict(%q) = %v, want %v", tt.text, urls, tt.want)
+			}
+			for i := range urls {
+				if urls[i] != tt.want[i] {
+					t.Errorf("url[%d] = %q, want %q", i, urls[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestExtractStrictWhole(t *testing.T) {
+	tests := []struct {
+		name    string
+		payload string
+		wantURL string
+		wantOK  bool
+	}{
+		{"clean url", "https://evil-site.com/dhfYWfH", "https://evil-site.com/dhfYWfH", true},
+		{"leading space trimmed", "  https://evil-site.com/x  ", "https://evil-site.com/x", true},
+		{"junk prefix word", "xxx https://evil-site.com/", "", false},
+		{"junk bracket", "[https://evil-site.com/", "", false},
+		{"junk glued", "zzhttps://evil-site.com/", "", false},
+		{"trailing junk", "https://evil-site.com/x and more", "", false},
+		{"not a url", "hello world", "", false},
+		{"empty", "", "", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := ExtractStrictWhole(tt.payload)
+			if ok != tt.wantOK || got != tt.wantURL {
+				t.Errorf("ExtractStrictWhole(%q) = (%q, %v), want (%q, %v)",
+					tt.payload, got, ok, tt.wantURL, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestExtractLenientFaultyQRPayloads(t *testing.T) {
+	// The exact shapes from the paper: "xxx https://evil-site.com/" and
+	// "[https://evil-site.com/". Mobile scanners extract the URL; strict
+	// whole-payload parsing does not. This is the filter-evasion bug.
+	payloads := []string{
+		"xxx https://evil-site.com/",
+		"[https://evil-site.com/",
+		"!!!###https://evil-site.com/",
+		"scan me » https://evil-site.com/",
+	}
+	for _, p := range payloads {
+		t.Run(p, func(t *testing.T) {
+			lenient := ExtractLenient(p)
+			if len(lenient) != 1 || lenient[0].URL != "https://evil-site.com/" {
+				t.Fatalf("ExtractLenient(%q) = %+v, want the evil URL", p, lenient)
+			}
+			if !lenient[0].JunkPrefix {
+				t.Errorf("ExtractLenient(%q): JunkPrefix = false, want true", p)
+			}
+			if _, ok := ExtractStrictWhole(p); ok {
+				t.Errorf("ExtractStrictWhole(%q) succeeded; the evasion depends on it failing", p)
+			}
+		})
+	}
+}
+
+func TestExtractLenientCleanPayloadNoJunkFlag(t *testing.T) {
+	got := ExtractLenient("https://ok.example/path")
+	if len(got) != 1 || got[0].JunkPrefix {
+		t.Errorf("clean payload: got %+v, want one extraction with JunkPrefix=false", got)
+	}
+}
+
+func TestStrictSubsetOfLenientProperty(t *testing.T) {
+	// Every URL the strict extractor finds must also be found leniently.
+	f := func(a, b uint16) bool {
+		hostA := "h" + strings.Repeat("a", int(a%5)+1) + ".com"
+		text := "x https://" + hostA + "/p" + strings.Repeat("q", int(b%7)) + " tail"
+		strict := ExtractStrict(text)
+		lenient := ExtractLenient(text)
+		found := make(map[string]bool, len(lenient))
+		for _, e := range lenient {
+			found[e.URL] = true
+		}
+		for _, e := range strict {
+			if !found[e.URL] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidHost(t *testing.T) {
+	tests := []struct {
+		host string
+		want bool
+	}{
+		{"example.com", true},
+		{"sub.example.co.uk", true},
+		{"localhost", true},
+		{"evil-site.com", true},
+		{"no-dot", false},
+		{".leading.com", false},
+		{"trailing.com.", false},
+		{"dou..ble.com", false},
+		{"spa ce.com", false},
+	}
+	for _, tt := range tests {
+		if got := validHost(tt.host); got != tt.want {
+			t.Errorf("validHost(%q) = %v, want %v", tt.host, got, tt.want)
+		}
+	}
+}
+
+func TestParseDomain(t *testing.T) {
+	tests := []struct {
+		host            string
+		wantRegistrable string
+		wantTLD         string
+		wantIP          bool
+	}{
+		{"evil-site.com", "evil-site.com", ".com", false},
+		{"portal.evil-site.com", "evil-site.com", ".com", false},
+		{"a.b.evil.ru", "evil.ru", ".ru", false},
+		{"shop.example.co.uk", "example.co.uk", ".co.uk", false},
+		{"myapp.vercel.app", "myapp.vercel.app", ".vercel.app", false},
+		{"x.workers.dev", "x.workers.dev", ".workers.dev", false},
+		{"sub.phish.cloudfront.net", "phish.cloudfront.net", ".cloudfront.net", false},
+		{"192.168.1.10", "192.168.1.10", "", true},
+		{"UPPER.Example.COM", "example.com", ".com", false},
+		{"trailing.dot.com.", "dot.com", ".com", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.host, func(t *testing.T) {
+			d := ParseDomain(tt.host)
+			if d.Registrable != tt.wantRegistrable || d.TLD != tt.wantTLD || d.IsIP != tt.wantIP {
+				t.Errorf("ParseDomain(%q) = %+v, want registrable=%q tld=%q ip=%v",
+					tt.host, d, tt.wantRegistrable, tt.wantTLD, tt.wantIP)
+			}
+		})
+	}
+}
+
+func TestIsIPv4(t *testing.T) {
+	tests := []struct {
+		host string
+		want bool
+	}{
+		{"1.2.3.4", true},
+		{"255.255.255.255", true},
+		{"256.1.1.1", false},
+		{"1.2.3", false},
+		{"1.2.3.4.5", false},
+		{"a.b.c.d", false},
+		{"1.2..4", false},
+	}
+	for _, tt := range tests {
+		if got := isIPv4(tt.host); got != tt.want {
+			t.Errorf("isIPv4(%q) = %v, want %v", tt.host, got, tt.want)
+		}
+	}
+}
+
+func TestTLDDistribution(t *testing.T) {
+	hosts := []string{
+		"a.com", "b.com", "c.com", "x.ru", "y.ru", "z.dev",
+		"portal.a.com", "10.0.0.1",
+	}
+	dist := TLDDistribution(hosts)
+	if dist[0].TLD != ".com" || dist[0].Count != 4 {
+		t.Fatalf("top TLD = %+v, want .com x4", dist[0])
+	}
+	if dist[1].TLD != ".ru" || dist[1].Count != 2 {
+		t.Fatalf("second TLD = %+v, want .ru x2", dist[1])
+	}
+	var total int
+	var pct float64
+	for _, row := range dist {
+		total += row.Count
+		pct += row.Percent
+	}
+	if total != len(hosts) {
+		t.Errorf("counts sum to %d, want %d", total, len(hosts))
+	}
+	if pct < 99.9 || pct > 100.1 {
+		t.Errorf("percentages sum to %v, want ~100", pct)
+	}
+}
+
+func TestTLDDistributionEmpty(t *testing.T) {
+	if dist := TLDDistribution(nil); len(dist) != 0 {
+		t.Errorf("TLDDistribution(nil) = %v, want empty", dist)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"acme", "acmee", 1},
+		{"flaw", "lawn", 2},
+	}
+	for _, tt := range tests {
+		if got := levenshtein(tt.a, tt.b); got != tt.want {
+			t.Errorf("levenshtein(%q, %q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		d := levenshtein(a, b)
+		if d != levenshtein(b, a) {
+			return false
+		}
+		if (d == 0) != (a == b) {
+			return false
+		}
+		la, lb := len([]rune(a)), len([]rune(b))
+		diff := la - lb
+		if diff < 0 {
+			diff = -diff
+		}
+		return d >= diff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func newTestAnalyzer() *DeceptionAnalyzer {
+	return NewDeceptionAnalyzer([]string{"acmetravel", "microsoft", "onedrive", "docusign"})
+}
+
+func TestDeceptionTyposquatting(t *testing.T) {
+	a := newTestAnalyzer()
+	got := a.Analyze("acmetravl.com") // one deletion
+	if !containsTechnique(got, DeceptionTyposquatting) {
+		t.Errorf("acmetravl.com: %v, want typosquatting", got)
+	}
+	if a.IsDeceptive("acmetravel.com") && containsTechnique(a.Analyze("acmetravel.com"), DeceptionTyposquatting) {
+		t.Error("exact brand domain must not be typosquatting")
+	}
+}
+
+func TestDeceptionCombosquatting(t *testing.T) {
+	a := newTestAnalyzer()
+	tests := []struct {
+		host string
+		want bool
+	}{
+		{"acmetravel-login.com", true},
+		{"secure-microsoft.ru", true},
+		{"acmetravel.com", false},
+		{"unrelated.com", false},
+	}
+	for _, tt := range tests {
+		got := containsTechnique(a.Analyze(tt.host), DeceptionCombosquatting)
+		if got != tt.want {
+			t.Errorf("combosquat(%q) = %v, want %v", tt.host, got, tt.want)
+		}
+	}
+}
+
+func TestDeceptionTargetEmbedding(t *testing.T) {
+	a := newTestAnalyzer()
+	if !containsTechnique(a.Analyze("acmetravel.evil-host.com"), DeceptionTargetEmbedding) {
+		t.Error("brand subdomain of unrelated domain must be target embedding")
+	}
+	if containsTechnique(a.Analyze("www.acmetravel.com"), DeceptionTargetEmbedding) {
+		t.Error("brand's own domain must not be target embedding")
+	}
+}
+
+func TestDeceptionHomoglyph(t *testing.T) {
+	a := newTestAnalyzer()
+	tests := []struct {
+		host string
+		want bool
+	}{
+		{"micr0soft.com", true},  // 0 for o
+		{"acmetrave1.com", true}, // 1 for l
+		{"microsoft.com", false},
+		{"plainword.com", false},
+	}
+	for _, tt := range tests {
+		got := containsTechnique(a.Analyze(tt.host), DeceptionHomoglyph)
+		if got != tt.want {
+			t.Errorf("homoglyph(%q) = %v, want %v", tt.host, got, tt.want)
+		}
+	}
+}
+
+func TestDeceptionKeywordStuffing(t *testing.T) {
+	a := newTestAnalyzer()
+	if !containsTechnique(a.Analyze("secure-login-verify.com"), DeceptionKeywordStuffing) {
+		t.Error("secure-login-verify.com must be keyword stuffing")
+	}
+	if containsTechnique(a.Analyze("login-page.com"), DeceptionKeywordStuffing) {
+		t.Error("single keyword must not be keyword stuffing")
+	}
+}
+
+func TestDeceptionPunycode(t *testing.T) {
+	a := newTestAnalyzer()
+	if !containsTechnique(a.Analyze("xn--acme-xyz.com"), DeceptionPunycode) {
+		t.Error("xn-- label must be punycode")
+	}
+	if containsTechnique(a.Analyze("plain.com"), DeceptionPunycode) {
+		t.Error("plain.com must not be punycode")
+	}
+}
+
+func TestPlainDomainsNotDeceptive(t *testing.T) {
+	// The paper's key finding: most phishing landing domains use NO
+	// deceptive syntax at all, which keeps them off scanner shortlists.
+	a := newTestAnalyzer()
+	for _, host := range []string{"quiet-meadow.com", "bluecoral.ru", "app7.dev", "northwindco.buzz"} {
+		if a.IsDeceptive(host) {
+			t.Errorf("%q flagged deceptive: %v, want clean", host, a.Analyze(host))
+		}
+	}
+}
+
+func TestDeceptionTechniqueString(t *testing.T) {
+	names := map[DeceptionTechnique]string{
+		DeceptionTyposquatting:   "typosquatting",
+		DeceptionCombosquatting:  "combosquatting",
+		DeceptionTargetEmbedding: "target-embedding",
+		DeceptionHomoglyph:       "homoglyph",
+		DeceptionKeywordStuffing: "keyword-stuffing",
+		DeceptionPunycode:        "punycode",
+		DeceptionTechnique(99):   "unknown",
+	}
+	for d, want := range names {
+		if d.String() != want {
+			t.Errorf("%d.String() = %q, want %q", d, d.String(), want)
+		}
+	}
+}
+
+func containsTechnique(ts []DeceptionTechnique, want DeceptionTechnique) bool {
+	for _, t := range ts {
+		if t == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDamerauTransposition(t *testing.T) {
+	// Adjacent swaps cost 1 (Damerau), not 2 (plain Levenshtein) — the
+	// fat-finger typosquats real detectors must catch.
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"farewell", "farweell", 1},
+		{"microsoft", "micorsoft", 1},
+		{"ab", "ba", 1},
+		{"abcd", "badc", 2},
+	}
+	for _, tt := range tests {
+		if got := levenshtein(tt.a, tt.b); got != tt.want {
+			t.Errorf("levenshtein(%q, %q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+	a := newTestAnalyzer()
+	if !containsTechnique(a.Analyze("micorsoft.com"), DeceptionTyposquatting) {
+		t.Error("transposition typosquat not detected")
+	}
+}

@@ -1,0 +1,55 @@
+// Package webnet simulates the slice of the Internet that CrawlerBox
+// interacts with: a virtual clock, an IPv4 address space with provenance
+// classes (residential, mobile, datacenter, security-vendor), DNS resolution
+// with a passive-DNS query ledger (the Cisco Umbrella substitute), TLS
+// certificates with a certificate-transparency log, and an HTTP layer where
+// simulated servers receive structured requests and return structured
+// responses.
+//
+// Everything is deterministic: time advances only through the virtual clock
+// and randomness comes from seeded generators owned by callers.
+package webnet
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a virtual clock. All timing behavior in the simulation — delayed
+// phishing-site activation, timing-based bot checks, crawl timestamps —
+// reads from a Clock, so experiments are reproducible.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewClock returns a clock set to the given start time.
+func NewClock(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d (negative d is ignored).
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// Set jumps the clock to t if t is not before the current time.
+func (c *Clock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.After(c.now) {
+		c.now = t
+	}
+}

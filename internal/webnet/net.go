@@ -1,0 +1,442 @@
+package webnet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// IPClass is the provenance class of an IP address — the attribute
+// server-side cloaking and commercial WAFs key on (datacenter and
+// security-vendor ranges are blocked; residential and mobile pass).
+type IPClass int
+
+// IP provenance classes.
+const (
+	IPResidential IPClass = iota + 1
+	IPMobile
+	IPDatacenter
+	IPSecurityVendor
+)
+
+// String names the class.
+func (c IPClass) String() string {
+	switch c {
+	case IPResidential:
+		return "residential"
+	case IPMobile:
+		return "mobile"
+	case IPDatacenter:
+		return "datacenter"
+	case IPSecurityVendor:
+		return "security-vendor"
+	default:
+		return "unknown"
+	}
+}
+
+// Errors surfaced by the network simulation.
+var (
+	// ErrNXDomain indicates the host has no DNS record.
+	ErrNXDomain = errors.New("webnet: NXDOMAIN")
+	// ErrUnreachable indicates the host resolves but nothing answers.
+	ErrUnreachable = errors.New("webnet: host unreachable")
+	// ErrTimeout indicates the server accepted the connection but never
+	// responded (a hung or tarpitted endpoint).
+	ErrTimeout = errors.New("webnet: request timed out")
+)
+
+// Certificate is one TLS certificate record, also the CT log entry shape.
+type Certificate struct {
+	Host      string
+	Issuer    string
+	IssuedAt  time.Time
+	NotAfter  time.Time
+	SerialNum int
+}
+
+// QueryRecord is one passive-DNS observation.
+type QueryRecord struct {
+	Host string
+	At   time.Time
+	From string // resolver client IP
+}
+
+// Request is a simulated HTTP request.
+type Request struct {
+	Method   string
+	Host     string
+	Path     string
+	RawQuery string
+	Headers  map[string]string
+	Body     string
+	ClientIP string
+	// TLSFingerprint is a JA3-style client fingerprint string; WAFs use
+	// it to distinguish browser TLS stacks from tool stacks.
+	TLSFingerprint string
+}
+
+// Header returns a request header (case-insensitive).
+func (r *Request) Header(name string) string {
+	for k, v := range r.Headers {
+		if strings.EqualFold(k, name) {
+			return v
+		}
+	}
+	return ""
+}
+
+// URL reassembles the absolute URL.
+func (r *Request) URL() string {
+	u := "https://" + r.Host + r.Path
+	if r.RawQuery != "" {
+		u += "?" + r.RawQuery
+	}
+	return u
+}
+
+// Response is a simulated HTTP response. A nil Response from a handler
+// models a hung connection and surfaces as ErrTimeout.
+type Response struct {
+	Status  int
+	Headers map[string]string
+	Body    []byte
+}
+
+// Header returns a response header (case-insensitive).
+func (r *Response) Header(name string) string {
+	for k, v := range r.Headers {
+		if strings.EqualFold(k, name) {
+			return v
+		}
+	}
+	return ""
+}
+
+// Handler serves simulated requests.
+type Handler func(*Request) *Response
+
+// Internet is the simulated network fabric.
+type Internet struct {
+	Clock *Clock
+
+	mu         sync.Mutex
+	dns        map[string]string
+	ipClass    map[string]IPClass
+	ipCountry  map[string]string
+	banners    map[string]string
+	servers    map[string]Handler
+	certs      map[string][]*Certificate
+	ctLog      []*Certificate
+	queryLog   map[string][]QueryRecord
+	queryAgg   map[string]map[string]int
+	nextIP     [4]int
+	nextSerial int
+	// RequestLatency is the virtual time cost of one HTTP round trip.
+	RequestLatency time.Duration
+	// trafficLog records every request for referral analysis.
+	trafficLog []LoggedExchange
+}
+
+// LoggedExchange pairs a request with its response for traffic analysis.
+type LoggedExchange struct {
+	Request Request
+	Status  int
+	At      time.Time
+}
+
+// NewInternet returns an empty simulated internet on the given clock.
+func NewInternet(clock *Clock) *Internet {
+	return &Internet{
+		Clock:          clock,
+		dns:            map[string]string{},
+		ipClass:        map[string]IPClass{},
+		servers:        map[string]Handler{},
+		certs:          map[string][]*Certificate{},
+		queryLog:       map[string][]QueryRecord{},
+		nextIP:         [4]int{198, 18, 0, 1},
+		RequestLatency: 50 * time.Millisecond,
+	}
+}
+
+// AllocateIP returns a fresh deterministic IP tagged with a class.
+func (n *Internet) AllocateIP(class IPClass) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ip := fmt.Sprintf("%d.%d.%d.%d", n.nextIP[0], n.nextIP[1], n.nextIP[2], n.nextIP[3])
+	n.nextIP[3]++
+	if n.nextIP[3] > 254 {
+		n.nextIP[3] = 1
+		n.nextIP[2]++
+	}
+	if n.nextIP[2] > 254 {
+		n.nextIP[2] = 0
+		n.nextIP[1]++
+	}
+	n.ipClass[ip] = class
+	return ip
+}
+
+// SetBanner records a Shodan-style service banner for an IP.
+func (n *Internet) SetBanner(ip, banner string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.banners == nil {
+		n.banners = map[string]string{}
+	}
+	n.banners[ip] = banner
+}
+
+// BannerOf returns the service banner recorded for an IP, if any — the
+// Shodan enrichment source of the paper's crawling phase.
+func (n *Internet) BannerOf(ip string) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	b, ok := n.banners[ip]
+	return b, ok
+}
+
+// SetIPCountry assigns a geolocation country code to an IP.
+func (n *Internet) SetIPCountry(ip, country string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ipCountry == nil {
+		n.ipCountry = map[string]string{}
+	}
+	n.ipCountry[ip] = country
+}
+
+// CountryOf returns the geolocation of an IP ("US" when unassigned, the
+// default the ipapi-style enrichment services report for our address pool).
+func (n *Internet) CountryOf(ip string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c, ok := n.ipCountry[ip]; ok {
+		return c
+	}
+	return "US"
+}
+
+// ClassOf returns the provenance class of an IP (unknown IPs read as
+// datacenter, the conservative default used by reputation feeds).
+func (n *Internet) ClassOf(ip string) IPClass {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c, ok := n.ipClass[ip]; ok {
+		return c
+	}
+	return IPDatacenter
+}
+
+// AddDNS registers a host -> IP record.
+func (n *Internet) AddDNS(host, ip string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dns[strings.ToLower(host)] = ip
+}
+
+// RemoveDNS deletes a record (site takedown).
+func (n *Internet) RemoveDNS(host string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.dns, strings.ToLower(host))
+}
+
+// Resolve looks up a host, recording the query in the passive-DNS ledger.
+func (n *Internet) Resolve(host, clientIP string) (string, error) {
+	host = strings.ToLower(host)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.queryLog[host] = append(n.queryLog[host], QueryRecord{
+		Host: host, At: n.Clock.Now(), From: clientIP,
+	})
+	ip, ok := n.dns[host]
+	if !ok {
+		return "", fmt.Errorf("resolving %q: %w", host, ErrNXDomain)
+	}
+	return ip, nil
+}
+
+// RecordBackgroundQueries injects passive-DNS observations that did not
+// originate from the crawler — the victim traffic whose volume the Umbrella
+// analysis in Section V-A measures. Counts are stored as per-day aggregates
+// (Umbrella itself reports aggregates), spread uniformly across the window
+// ending at `until`, so even the corpus's 665-million-query outlier domain
+// costs a handful of ledger entries.
+func (n *Internet) RecordBackgroundQueries(host string, count int, window time.Duration, until time.Time) {
+	if count <= 0 {
+		return
+	}
+	host = strings.ToLower(host)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.queryAgg == nil {
+		n.queryAgg = map[string]map[string]int{}
+	}
+	if n.queryAgg[host] == nil {
+		n.queryAgg[host] = map[string]int{}
+	}
+	days := int(window / (24 * time.Hour))
+	if days < 1 {
+		days = 1
+	}
+	perDay := count / days
+	rem := count % days
+	at := until.Add(-window)
+	for i := 0; i < days; i++ {
+		c := perDay
+		if i < rem {
+			c++
+		}
+		if c > 0 {
+			n.queryAgg[host][at.Format("2006-01-02")] += c
+		}
+		at = at.Add(24 * time.Hour)
+	}
+}
+
+// QueryVolume summarizes passive-DNS activity for host inside
+// [until-window, until]: total query count and the maximum per-day count.
+func (n *Internet) QueryVolume(host string, window time.Duration, until time.Time) (total int, maxDaily int) {
+	host = strings.ToLower(host)
+	since := until.Add(-window)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	perDay := map[string]int{}
+	for _, q := range n.queryLog[host] {
+		if q.At.Before(since) || q.At.After(until) {
+			continue
+		}
+		total++
+		day := q.At.Format("2006-01-02")
+		perDay[day]++
+	}
+	for day, c := range n.queryAgg[host] {
+		t, err := time.Parse("2006-01-02", day)
+		if err != nil || t.Before(since.Add(-24*time.Hour)) || t.After(until) {
+			continue
+		}
+		total += c
+		perDay[day] += c
+	}
+	for _, c := range perDay {
+		if c > maxDaily {
+			maxDaily = c
+		}
+	}
+	return total, maxDaily
+}
+
+// IssueCert creates a TLS certificate for host, appends it to the CT log,
+// and returns it.
+func (n *Internet) IssueCert(host, issuer string, issuedAt time.Time) *Certificate {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextSerial++
+	cert := &Certificate{
+		Host:      strings.ToLower(host),
+		Issuer:    issuer,
+		IssuedAt:  issuedAt,
+		NotAfter:  issuedAt.Add(90 * 24 * time.Hour),
+		SerialNum: n.nextSerial,
+	}
+	n.certs[cert.Host] = append(n.certs[cert.Host], cert)
+	n.ctLog = append(n.ctLog, cert)
+	return cert
+}
+
+// CertFor returns the most recent certificate for host, if any.
+func (n *Internet) CertFor(host string) (*Certificate, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	certs := n.certs[strings.ToLower(host)]
+	if len(certs) == 0 {
+		return nil, false
+	}
+	return certs[len(certs)-1], true
+}
+
+// CTLog returns a copy of the certificate-transparency log in issuance
+// order — the public data source prior phishing studies crawled.
+func (n *Internet) CTLog() []*Certificate {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Certificate, len(n.ctLog))
+	copy(out, n.ctLog)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].IssuedAt.Before(out[j].IssuedAt) })
+	return out
+}
+
+// Serve registers a handler for a host name.
+func (n *Internet) Serve(host string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.servers[strings.ToLower(host)] = h
+}
+
+// Unserve removes a host's handler (server offline, DNS still present).
+func (n *Internet) Unserve(host string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.servers, strings.ToLower(host))
+}
+
+// Do performs one HTTP round trip: DNS resolution (logged), server lookup,
+// handler dispatch, latency accounting, and traffic logging.
+func (n *Internet) Do(req *Request) (*Response, error) {
+	req.Host = strings.ToLower(req.Host)
+	if _, err := n.Resolve(req.Host, req.ClientIP); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	handler, ok := n.servers[req.Host]
+	latency := n.RequestLatency
+	n.mu.Unlock()
+	n.Clock.Advance(latency)
+	if !ok {
+		n.logExchange(req, 0)
+		return nil, fmt.Errorf("connecting to %q: %w", req.Host, ErrUnreachable)
+	}
+	resp := handler(req)
+	if resp == nil {
+		n.logExchange(req, 0)
+		return nil, fmt.Errorf("waiting for %q: %w", req.Host, ErrTimeout)
+	}
+	if resp.Headers == nil {
+		resp.Headers = map[string]string{}
+	}
+	n.logExchange(req, resp.Status)
+	return resp, nil
+}
+
+func (n *Internet) logExchange(req *Request, status int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.trafficLog = append(n.trafficLog, LoggedExchange{
+		Request: *req, Status: status, At: n.Clock.Now(),
+	})
+}
+
+// Traffic returns a copy of the exchange log.
+func (n *Internet) Traffic() []LoggedExchange {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]LoggedExchange, len(n.trafficLog))
+	copy(out, n.trafficLog)
+	return out
+}
+
+// TrafficTo returns exchanges addressed to a host.
+func (n *Internet) TrafficTo(host string) []LoggedExchange {
+	host = strings.ToLower(host)
+	var out []LoggedExchange
+	for _, e := range n.Traffic() {
+		if e.Request.Host == host {
+			out = append(out, e)
+		}
+	}
+	return out
+}
