@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+# check is the repository's quality gate (DESIGN.md §7): compile, vet,
+# the full test suite under the race detector, and one pass of the
+# pipeline-throughput benchmarks (serial + worker pool).
+check: build vet race bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=BenchmarkPipelineThroughput -benchtime=1x .

@@ -7,14 +7,16 @@
 //
 // Usage:
 //
-//	crawlerbox [-dir DIR] [-seed N] [-scale F] [-n N]
+//	crawlerbox [-dir DIR] [-seed N] [-scale F] [-n N] [-workers N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -36,6 +38,7 @@ func run() error {
 	seed := flag.Int64("seed", 42, "world/corpus seed (must match mkdataset for -dir)")
 	scale := flag.Float64("scale", 0.1, "world/corpus scale (must match mkdataset for -dir)")
 	limit := flag.Int("n", 10, "maximum messages to analyze (0 = all)")
+	workers := flag.Int("workers", runtime.NumCPU(), "analysis worker-pool size (results are identical for any value)")
 	flag.Parse()
 
 	corpus, err := dataset.Generate(dataset.Config{Seed: *seed, Scale: *scale})
@@ -83,13 +86,20 @@ func run() error {
 		names = names[:*limit]
 	}
 
+	specs := make([]crawlerbox.MessageSpec, len(messages))
 	for i, raw := range messages {
-		ma, err := pipe.AnalyzeMessage(raw)
-		if err != nil {
-			fmt.Printf("%-16s ERROR %v\n", names[i], err)
+		specs[i] = crawlerbox.MessageSpec{Raw: raw, ID: int64(i + 1)}
+	}
+	for i, res := range pipe.AnalyzeCorpus(context.Background(), specs, *workers) {
+		if res.Err != nil {
+			fmt.Printf("%-16s ERROR %v\n", names[i], res.Err)
 			continue
 		}
+		ma := res.Analysis
 		line := fmt.Sprintf("%-16s %-20s urls=%d", names[i], ma.Outcome, len(ma.Parse.URLs))
+		if ma.Outcome == crawlerbox.OutcomeError {
+			line += " err=" + ma.ErrorKind.String()
+		}
 		if ma.SpearPhish {
 			line += " spear[" + ma.Brand + "]"
 		}

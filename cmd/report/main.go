@@ -4,16 +4,19 @@
 //
 // Usage:
 //
-//	report [-seed N] [-scale F] [-only table1|table2|fig2|fig3|disposition|spear|nontargeted|cloaks]
+//	report [-seed N] [-scale F] [-workers N] [-only table1|table2|fig2|fig3|disposition|spear|nontargeted|cloaks]
 //
 // At -scale 1.0 (the default) the corpus holds 5,181 messages and the full
-// run takes a few seconds.
+// run takes a few seconds. -workers parallelizes the per-message analysis;
+// the aggregates are bitwise identical for every worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"crawlerbox/internal/crawler"
 	"crawlerbox/internal/dataset"
@@ -30,6 +33,7 @@ func main() {
 func run() error {
 	seed := flag.Int64("seed", 42, "corpus generation seed")
 	scale := flag.Float64("scale", 1.0, "corpus scale (1.0 = 5,181 messages)")
+	workers := flag.Int("workers", runtime.NumCPU(), "analysis worker-pool size (results are identical for any value)")
 	only := flag.String("only", "", "print a single artifact: table1|table2|fig2|fig3|disposition|spear|nontargeted|cloaks")
 	flag.Parse()
 
@@ -50,8 +54,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Analyzing %d messages with CrawlerBox...\n\n", len(c.Messages))
-	run, err := report.Analyze(c)
+	fmt.Printf("Analyzing %d messages with CrawlerBox (%d workers)...\n\n", len(c.Messages), *workers)
+	run, err := report.AnalyzeParallel(context.Background(), c, *workers)
 	if err != nil {
 		return err
 	}

@@ -20,6 +20,7 @@
 package crawlerboxgo
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -87,10 +88,17 @@ func GenerateCorpus(seed int64, scale float64) (*dataset.Corpus, error) {
 	return dataset.Generate(dataset.Config{Seed: seed, Scale: scale})
 }
 
-// AnalyzeCorpus runs the full pipeline over a corpus and returns the
-// aggregated run (tables, figures, censuses).
+// AnalyzeCorpus runs the full pipeline over a corpus serially and returns
+// the aggregated run (tables, figures, censuses).
 func AnalyzeCorpus(c *dataset.Corpus) (*report.Run, error) {
 	return report.Analyze(c)
+}
+
+// AnalyzeCorpusParallel is AnalyzeCorpus with a bounded worker pool and
+// cancellation. The aggregated run is bitwise identical for any worker
+// count (see the pipeline's determinism guarantee in DESIGN.md).
+func AnalyzeCorpusParallel(ctx context.Context, c *dataset.Corpus, workers int) (*report.Run, error) {
+	return report.AnalyzeParallel(ctx, c, workers)
 }
 
 // RunTable1 reproduces the Table I crawler-vs-detector assessment.

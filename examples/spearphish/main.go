@@ -6,6 +6,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"os"
 	"time"
@@ -34,7 +36,7 @@ func run() error {
 		url := phishkit.DeployBrandSite(net, b)
 		br := browser.New(net, browser.NotABot(), net.AllocateIP(webnet.IPMobile), seed)
 		seed++
-		res, err := br.Visit(url)
+		res, err := br.Visit(context.Background(), url)
 		if err != nil {
 			return err
 		}
@@ -58,7 +60,7 @@ func run() error {
 		site := phishkit.Deploy(net, cand.cfg)
 		br := browser.New(net, browser.NotABot(), net.AllocateIP(webnet.IPMobile), seed)
 		seed++
-		res, err := br.Visit(site.LandingURL)
+		res, err := br.Visit(context.Background(), site.LandingURL)
 		if err != nil {
 			return err
 		}

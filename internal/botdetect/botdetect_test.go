@@ -1,6 +1,8 @@
 package botdetect
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 	"time"
@@ -82,7 +84,7 @@ func (w *world) browse(profile browser.Profile) *browser.Browser {
 func TestBotDPassesNotABot(t *testing.T) {
 	w := newWorld(t)
 	br := w.browse(browser.NotABot())
-	if _, err := br.Visit("https://page.example/"); err != nil {
+	if _, err := br.Visit(context.Background(), "https://page.example/"); err != nil {
 		t.Fatal(err)
 	}
 	v := w.botd.VerdictFor(br.ClientIP)
@@ -96,7 +98,7 @@ func TestBotDFlagsWebdriver(t *testing.T) {
 	p := browser.HumanChrome()
 	p.WebdriverFlag = true
 	br := w.browse(p)
-	if _, err := br.Visit("https://page.example/"); err != nil {
+	if _, err := br.Visit(context.Background(), "https://page.example/"); err != nil {
 		t.Fatal(err)
 	}
 	v := w.botd.VerdictFor(br.ClientIP)
@@ -111,7 +113,7 @@ func TestBotDFlagsHeadlessUAAndCDC(t *testing.T) {
 	p.UserAgent = strings.Replace(p.UserAgent, "Chrome/", "HeadlessChrome/", 1)
 	p.CDPArtifacts = true
 	br := w.browse(p)
-	if _, err := br.Visit("https://page.example/"); err != nil {
+	if _, err := br.Visit(context.Background(), "https://page.example/"); err != nil {
 		t.Fatal(err)
 	}
 	v := w.botd.VerdictFor(br.ClientIP)
@@ -132,7 +134,7 @@ func TestTurnstilePassesNotABotWithoutInteraction(t *testing.T) {
 	// token with zero human interaction.
 	w := newWorld(t)
 	br := w.browse(browser.NotABot())
-	res, err := br.Visit("https://gate.example/")
+	res, err := br.Visit(context.Background(), "https://gate.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +155,7 @@ func TestTurnstileFlagsHeadlessGPU(t *testing.T) {
 	p.Headless = true
 	p.GPURenderer = "Google SwiftShader"
 	br := w.browse(p)
-	if _, err := br.Visit("https://gate.example/"); err != nil {
+	if _, err := br.Visit(context.Background(), "https://gate.example/"); err != nil {
 		t.Fatal(err)
 	}
 	v := w.ts.VerdictFor(br.ClientIP)
@@ -167,7 +169,7 @@ func TestTurnstileFlagsFakePlugins(t *testing.T) {
 	p := browser.HumanChrome()
 	p.PluginNames = nil // generic "Plugin A" names, the stealth-plugin tell
 	br := w.browse(p)
-	if _, err := br.Visit("https://gate.example/"); err != nil {
+	if _, err := br.Visit(context.Background(), "https://gate.example/"); err != nil {
 		t.Fatal(err)
 	}
 	v := w.ts.VerdictFor(br.ClientIP)
@@ -181,7 +183,7 @@ func TestTurnstileFlagsDriverBinary(t *testing.T) {
 	p := browser.HumanChrome()
 	p.ChromedriverArtifacts = true
 	br := w.browse(p)
-	if _, err := br.Visit("https://gate.example/"); err != nil {
+	if _, err := br.Visit(context.Background(), "https://gate.example/"); err != nil {
 		t.Fatal(err)
 	}
 	v := w.ts.VerdictFor(br.ClientIP)
@@ -195,7 +197,7 @@ func TestTurnstileFlagsVMClock(t *testing.T) {
 	p := browser.HumanChrome()
 	p.VMTimingSkew = 4.0
 	br := w.browse(p)
-	if _, err := br.Visit("https://gate.example/"); err != nil {
+	if _, err := br.Visit(context.Background(), "https://gate.example/"); err != nil {
 		t.Fatal(err)
 	}
 	v := w.ts.VerdictFor(br.ClientIP)
@@ -207,7 +209,7 @@ func TestTurnstileFlagsVMClock(t *testing.T) {
 func TestTurnstileTokenSingleUse(t *testing.T) {
 	w := newWorld(t)
 	br := w.browse(browser.NotABot())
-	res, err := br.Visit("https://gate.example/")
+	res, err := br.Visit(context.Background(), "https://gate.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +225,7 @@ func TestTurnstileTokenSingleUse(t *testing.T) {
 func TestAnonWAFPassesCleanBrowser(t *testing.T) {
 	w := newWorld(t)
 	br := w.browse(browser.NotABot())
-	res, err := br.Visit("https://secret.example/account")
+	res, err := br.Visit(context.Background(), "https://secret.example/account")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +242,7 @@ func TestAnonWAFBlocksToolTLS(t *testing.T) {
 	p := browser.HumanChrome()
 	p.TLSFingerprint = "771,4865-4866,generic-library"
 	br := w.browse(p)
-	res, _ := br.Visit("https://secret.example/account")
+	res, _ := br.Visit(context.Background(), "https://secret.example/account")
 	if res != nil && strings.Contains(res.HTML, "origin content") {
 		t.Error("tool TLS fingerprint must be blocked")
 	}
@@ -255,7 +257,7 @@ func TestAnonWAFBlocksMissingAcceptLanguage(t *testing.T) {
 	p := browser.HumanChrome()
 	p.SendAcceptLanguage = false
 	br := w.browse(p)
-	res, _ := br.Visit("https://secret.example/")
+	res, _ := br.Visit(context.Background(), "https://secret.example/")
 	if res != nil && strings.Contains(res.HTML, "origin content") {
 		t.Error("missing Accept-Language must be blocked")
 	}
@@ -270,7 +272,7 @@ func TestAnonWAFBlocksCacheQuirk(t *testing.T) {
 	p := browser.HumanChrome()
 	p.InterceptionCacheQuirk = true
 	br := w.browse(p)
-	res, _ := br.Visit("https://secret.example/")
+	res, _ := br.Visit(context.Background(), "https://secret.example/")
 	if res != nil && strings.Contains(res.HTML, "origin content") {
 		t.Error("interception cache quirk must be blocked")
 	}
@@ -288,7 +290,7 @@ func TestAnonWAFAllowsChromedriverArtifacts(t *testing.T) {
 	p := browser.HumanChrome()
 	p.ChromedriverArtifacts = true
 	br := w.browse(p)
-	res, err := br.Visit("https://secret.example/")
+	res, err := br.Visit(context.Background(), "https://secret.example/")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package browser
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -22,6 +23,11 @@ var ErrTooManyRedirects = errors.New("browser: too many redirects")
 type Browser struct {
 	Net     *webnet.Internet
 	Profile Profile
+	// Clock is the virtual clock this browser reads and advances (Date.now,
+	// performance.now, timers, request latency). New sets it to the shared
+	// network clock; a corpus runner replaces it with a per-analysis fork so
+	// concurrent analyses never advance each other's time.
+	Clock *webnet.Clock
 	// ClientIP is the crawler's egress address; its provenance class is a
 	// server-side cloaking input.
 	ClientIP string
@@ -42,6 +48,7 @@ type Browser struct {
 func New(net *webnet.Internet, profile Profile, clientIP string, seed int64) *Browser {
 	return &Browser{
 		Net:             net,
+		Clock:           net.Clock,
 		Profile:         profile,
 		ClientIP:        clientIP,
 		MaxRedirects:    10,
@@ -53,6 +60,15 @@ func New(net *webnet.Internet, profile Profile, clientIP string, seed int64) *Br
 }
 
 func (b *Browser) random() float64 { return b.rng.Float64() }
+
+// clock returns the browser's virtual clock, falling back to the shared
+// network clock for zero-value Browsers built without New.
+func (b *Browser) clock() *webnet.Clock {
+	if b.Clock != nil {
+		return b.Clock
+	}
+	return b.Net.Clock
+}
 
 // RequestRecord is one network request made during a visit.
 type RequestRecord struct {
@@ -67,6 +83,7 @@ type RequestRecord struct {
 // page is the per-document execution context.
 type page struct {
 	br           *Browser
+	ctx          context.Context
 	url          *neturl.URL
 	doc          *htmlx.Node
 	interp       *minijs.Interp
@@ -94,10 +111,21 @@ type recorder struct {
 
 func (pg *page) host() string { return pg.url.Hostname() }
 
-// Visit navigates to rawURL and returns the fully processed result.
-func (b *Browser) Visit(rawURL string) (*Result, error) {
+// context returns the visit's context (Background for zero-value pages).
+func (pg *page) context() context.Context {
+	if pg.ctx == nil {
+		return context.Background()
+	}
+	return pg.ctx
+}
+
+// Visit navigates to rawURL and returns the fully processed result. The
+// context cancels the visit between round trips and event-loop turns; a
+// cancelled visit returns the partial result accumulated so far with the
+// context's error.
+func (b *Browser) Visit(ctx context.Context, rawURL string) (*Result, error) {
 	rec := &recorder{}
-	return b.navigate(rawURL, "", rec, 0)
+	return b.navigate(ctx, rawURL, "", rec, 0)
 }
 
 // Result is everything CrawlerBox logs about one crawl.
@@ -117,18 +145,21 @@ type Result struct {
 	Navigations  []string
 }
 
-func (b *Browser) navigate(rawURL, referrer string, rec *recorder, depth int) (*Result, error) {
+func (b *Browser) navigate(ctx context.Context, rawURL, referrer string, rec *recorder, depth int) (*Result, error) {
 	current := rawURL
 	var navigations []string
 	var lastPage *page
 	var lastStatus int
 	for hop := 0; ; hop++ {
+		if err := ctx.Err(); err != nil {
+			return partialResult(rawURL, current, navigations, rec, lastPage, lastStatus), err
+		}
 		if hop > b.MaxRedirects {
 			return partialResult(rawURL, current, navigations, rec, lastPage, lastStatus),
 				fmt.Errorf("%w: %d hops", ErrTooManyRedirects, hop)
 		}
 		navigations = append(navigations, current)
-		resp, err := b.fetch("GET", current, "document", referrer, nil, "", rec)
+		resp, err := b.fetch(ctx, "GET", current, "document", referrer, nil, "", rec)
 		if err != nil {
 			return partialResult(rawURL, current, navigations, rec, lastPage, lastStatus), err
 		}
@@ -142,7 +173,7 @@ func (b *Browser) navigate(rawURL, referrer string, rec *recorder, depth int) (*
 			current = resolveAgainst(current, loc)
 			continue
 		}
-		pg, err := b.processDocument(current, referrer, string(resp.Body), rec, depth)
+		pg, err := b.processDocument(ctx, current, referrer, string(resp.Body), rec, depth)
 		if err != nil {
 			return partialResult(rawURL, current, navigations, rec, lastPage, lastStatus), err
 		}
@@ -160,29 +191,30 @@ func (b *Browser) navigate(rawURL, referrer string, rec *recorder, depth int) (*
 // LoadHTML processes an HTML document that was opened locally (the HTML
 // attachment vector of Section V-B): no initial network fetch, a file://
 // base URL, and any navigation or frame loads happen over the network.
-func (b *Browser) LoadHTML(html, fileName string) (*Result, error) {
+func (b *Browser) LoadHTML(ctx context.Context, html, fileName string) (*Result, error) {
 	rec := &recorder{}
 	base := "file:///" + fileName
-	pg, err := b.processDocument(base, "", html, rec, 0)
+	pg, err := b.processDocument(ctx, base, "", html, rec, 0)
 	if err != nil {
 		return nil, err
 	}
 	if pg.pendingNav != "" {
 		// The attachment redirected the window to an external URL.
-		return b.navigate(resolveAgainst(base, pg.pendingNav), "", rec, 0)
+		return b.navigate(ctx, resolveAgainst(base, pg.pendingNav), "", rec, 0)
 	}
 	return assembleResult(base, base, []string{base}, rec, pg, 200), nil
 }
 
 // processDocument parses and executes one document. depth tracks nested
 // frame navigation so iframe chains terminate.
-func (b *Browser) processDocument(pageURL, referrer, html string, rec *recorder, depth int) (*page, error) {
+func (b *Browser) processDocument(ctx context.Context, pageURL, referrer, html string, rec *recorder, depth int) (*page, error) {
 	u, err := neturl.Parse(pageURL)
 	if err != nil {
 		return nil, fmt.Errorf("browser: parsing page URL %q: %w", pageURL, err)
 	}
 	pg := &page{
 		br:       b,
+		ctx:      ctx,
 		url:      u,
 		doc:      htmlx.Parse(html),
 		interp:   minijs.New(b.ScriptFuel),
@@ -278,7 +310,7 @@ func (pg *page) loadFrame(ref string) {
 		pg.frames = append(pg.frames, htmlx.Parse(string(resp.Body)))
 		return
 	}
-	res, err := pg.br.navigate(abs, pg.url.String(), pg.rec, pg.depth+1)
+	res, err := pg.br.navigate(pg.context(), abs, pg.url.String(), pg.rec, pg.depth+1)
 	if err != nil || res == nil || res.DOM == nil {
 		return
 	}
@@ -306,7 +338,7 @@ func resolveAgainst(base, ref string) string {
 }
 
 // fetch performs one network request with the profile's header surface.
-func (b *Browser) fetch(method, rawURL, initiator, referrer string,
+func (b *Browser) fetch(ctx context.Context, method, rawURL, initiator, referrer string,
 	extraHeaders map[string]string, body string, rec *recorder) (*webnet.Response, error) {
 	u, err := neturl.Parse(rawURL)
 	if err != nil {
@@ -346,8 +378,9 @@ func (b *Browser) fetch(method, rawURL, initiator, referrer string,
 		Body:           body,
 		ClientIP:       b.ClientIP,
 		TLSFingerprint: b.Profile.TLSFingerprint,
+		Clock:          b.clock(),
 	}
-	resp, err := b.Net.Do(req)
+	resp, err := b.Net.DoCtx(ctx, req)
 	record := RequestRecord{
 		URL: rawURL, Method: method, Initiator: initiator,
 		Referer: headers["Referer"],

@@ -1,6 +1,8 @@
 package browser
 
 import (
+	"context"
+
 	"errors"
 	"fmt"
 	"strings"
@@ -31,7 +33,7 @@ func testWorld(t *testing.T, html string) (*webnet.Internet, *Browser) {
 
 func TestVisitBasicPage(t *testing.T) {
 	_, br := testWorld(t, `<html><body><h1>Welcome</h1><p>hello</p></body></html>`)
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +54,7 @@ func TestVisitBasicPage(t *testing.T) {
 func TestVisitNXDomain(t *testing.T) {
 	net := webnet.NewInternet(webnet.NewClock(_epoch))
 	br := New(net, NotABot(), "10.0.0.1", 1)
-	_, err := br.Visit("https://gone.example/x")
+	_, err := br.Visit(context.Background(), "https://gone.example/x")
 	if !errors.Is(err, webnet.ErrNXDomain) {
 		t.Errorf("err = %v", err)
 	}
@@ -66,7 +68,7 @@ func TestHTTPRedirectChain(t *testing.T) {
 		return &webnet.Response{Status: 302,
 			Headers: map[string]string{"Location": "https://phish.example/land"}}
 	})
-	res, err := br.Visit("https://hop.example/start")
+	res, err := br.Visit(context.Background(), "https://hop.example/start")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +89,7 @@ func TestScriptNavigationViaLocationHref(t *testing.T) {
 	net.Serve("next.example", func(req *webnet.Request) *webnet.Response {
 		return &webnet.Response{Status: 200, Body: []byte("<html><body>step2</body></html>")}
 	})
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +107,7 @@ func TestScriptNavigationViaWindowLocationAssignment(t *testing.T) {
 	net.Serve("next.example", func(*webnet.Request) *webnet.Response {
 		return &webnet.Response{Status: 200, Body: []byte("<html><body>w</body></html>")}
 	})
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +125,7 @@ func TestMetaRefreshNavigation(t *testing.T) {
 	net.Serve("next.example", func(*webnet.Request) *webnet.Response {
 		return &webnet.Response{Status: 200, Body: []byte("<html><body>meta-landed</body></html>")}
 	})
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +143,7 @@ func TestRedirectLoopBounded(t *testing.T) {
 			Headers: map[string]string{"Location": "https://loop.example" + req.Path + "x"}}
 	})
 	br := New(net, NotABot(), "10.0.0.1", 1)
-	_, err := br.Visit("https://loop.example/a")
+	_, err := br.Visit(context.Background(), "https://loop.example/a")
 	if !errors.Is(err, ErrTooManyRedirects) {
 		t.Errorf("err = %v", err)
 	}
@@ -161,7 +163,7 @@ func TestFingerprintSurfaceExposedToScripts(t *testing.T) {
 	console.log(fp);
 	</script></body></html>`
 	_, br := testWorld(t, html)
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +192,7 @@ func TestHeadlessProfileObservable(t *testing.T) {
 	p.ChromeObject = false
 	p.PluginCount = 0
 	br := New(net, p, "10.0.0.2", 2)
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +212,7 @@ func TestCDPArtifactsVisible(t *testing.T) {
 	p := HumanChrome()
 	p.CDPArtifacts = true
 	br := New(net, p, "10.0.0.3", 3)
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +221,7 @@ func TestCDPArtifactsVisible(t *testing.T) {
 	}
 	// And absent on a clean profile.
 	br2 := New(net, NotABot(), "10.0.0.4", 4)
-	res2, err := br2.Visit("https://phish.example/")
+	res2, err := br2.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +239,7 @@ func TestDelayedRevealTimer(t *testing.T) {
 	}, 5000);
 	</script></body></html>`
 	_, br := testWorld(t, html)
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +252,7 @@ func TestDelayedRevealTimer(t *testing.T) {
 	// An impatient crawler (short event-loop window) misses it.
 	_, br2 := testWorld(t, html)
 	br2.EventLoopWindow = time.Second
-	res2, err := br2.Visit("https://phish.example/")
+	res2, err := br2.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +270,7 @@ func TestIntervalTimerAndClear(t *testing.T) {
 	}, 1000);
 	</script></body></html>`
 	_, br := testWorld(t, html)
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +291,7 @@ func TestDebuggerTimerPattern(t *testing.T) {
 	}, 1000);
 	</script></body></html>`
 	_, br := testWorld(t, html)
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +316,7 @@ func TestMouseMovementGatedContent(t *testing.T) {
 	});
 	</script></body></html>`
 	_, br := testWorld(t, html) // NotABot: trusted mouse movement
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +328,7 @@ func TestMouseMovementGatedContent(t *testing.T) {
 	still := HumanChrome()
 	still.MouseMovement = false
 	br2 := New(net, still, "10.0.0.9", 5)
-	res2, err := br2.Visit("https://phish.example/")
+	res2, err := br2.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +340,7 @@ func TestMouseMovementGatedContent(t *testing.T) {
 	untrusted := HumanChrome()
 	untrusted.TrustedEvents = false
 	br3 := New(net3, untrusted, "10.0.0.10", 6)
-	res3, err := br3.Visit("https://phish.example/")
+	res3, err := br3.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +364,7 @@ func TestXHRExfiltration(t *testing.T) {
 		captured = req.Body
 		return &webnet.Response{Status: 200, Body: []byte("ok")}
 	})
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +393,7 @@ func TestExternalScriptAndSubresources(t *testing.T) {
 			return &webnet.Response{Status: 200, Body: []byte("png-bytes")}
 		})
 	}
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -425,7 +427,7 @@ func TestIframeContentParsed(t *testing.T) {
 		return &webnet.Response{Status: 200,
 			Body: []byte(`<html><body><form><input type="password"></form></body></html>`)}
 	})
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,13 +453,13 @@ func TestCookieRoundTrip(t *testing.T) {
 			Body:    []byte("<html><body>hi</body></html>")}
 	})
 	br := New(net, NotABot(), "10.0.0.1", 1)
-	if _, err := br.Visit("https://cookie.example/"); err != nil {
+	if _, err := br.Visit(context.Background(), "https://cookie.example/"); err != nil {
 		t.Fatal(err)
 	}
 	if gotCookie != "" {
 		t.Errorf("first visit sent cookie %q", gotCookie)
 	}
-	if _, err := br.Visit("https://cookie.example/"); err != nil {
+	if _, err := br.Visit(context.Background(), "https://cookie.example/"); err != nil {
 		t.Fatal(err)
 	}
 	if gotCookie != "session=tok123" {
@@ -467,10 +469,10 @@ func TestCookieRoundTrip(t *testing.T) {
 	p := HumanChrome()
 	p.CookiesEnabled = false
 	br2 := New(net, p, "10.0.0.2", 2)
-	if _, err := br2.Visit("https://cookie.example/"); err != nil {
+	if _, err := br2.Visit(context.Background(), "https://cookie.example/"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := br2.Visit("https://cookie.example/"); err != nil {
+	if _, err := br2.Visit(context.Background(), "https://cookie.example/"); err != nil {
 		t.Fatal(err)
 	}
 	if gotCookie != "" {
@@ -491,14 +493,14 @@ func TestInterceptionCacheQuirkHeaderSurface(t *testing.T) {
 	quirky := HumanChrome()
 	quirky.InterceptionCacheQuirk = true
 	br := New(net, quirky, "10.0.0.1", 1)
-	if _, err := br.Visit("https://headers.example/"); err != nil {
+	if _, err := br.Visit(context.Background(), "https://headers.example/"); err != nil {
 		t.Fatal(err)
 	}
 	if cc != "no-cache" || pragma != "no-cache" {
 		t.Errorf("quirk headers = %q/%q", cc, pragma)
 	}
 	br2 := New(net, NotABot(), "10.0.0.2", 2)
-	if _, err := br2.Visit("https://headers.example/"); err != nil {
+	if _, err := br2.Visit(context.Background(), "https://headers.example/"); err != nil {
 		t.Fatal(err)
 	}
 	if cc != "" || pragma != "" {
@@ -521,7 +523,7 @@ func TestLoadHTMLAttachmentLocalRedirect(t *testing.T) {
 	document.body.setInnerHTML('<iframe src="' + target + '"></iframe>');
 	</script></body></html>`
 	br := New(net, NotABot(), "10.0.0.1", 1)
-	res, err := br.LoadHTML(html, "invoice.html")
+	res, err := br.LoadHTML(context.Background(), html, "invoice.html")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -548,7 +550,7 @@ func TestLoadHTMLAttachmentWindowRedirect(t *testing.T) {
 	})
 	html := `<html><body><script>location.href = "https://away.example/x";</script></body></html>`
 	br := New(net, NotABot(), "10.0.0.1", 1)
-	res, err := br.LoadHTML(html, "doc.html")
+	res, err := br.LoadHTML(context.Background(), html, "doc.html")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -567,12 +569,12 @@ func TestScreenshotDeterministicAndStyled(t *testing.T) {
 	</form>
 	</body></html>`
 	_, br1 := testWorld(t, html)
-	res1, err := br1.Visit("https://phish.example/")
+	res1, err := br1.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, br2 := testWorld(t, html)
-	res2, err := br2.Visit("https://phish.example/")
+	res2, err := br2.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -604,12 +606,12 @@ func TestHueRotateEvasionAffectsScreenshotNotHashes(t *testing.T) {
 	<input type="password" placeholder="pw">
 	</body></html>`
 	_, br1 := testWorld(t, plain)
-	res1, err := br1.Visit("https://phish.example/")
+	res1, err := br1.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, br2 := testWorld(t, rotated)
-	res2, err := br2.Visit("https://phish.example/")
+	res2, err := br2.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -630,7 +632,7 @@ func TestConsoleHijackRecorded(t *testing.T) {
 	console.log("suppressed");
 	</script></body></html>`
 	_, br := testWorld(t, html)
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -645,7 +647,7 @@ func TestScriptErrorIsolated(t *testing.T) {
 	<script>console.log("second script still runs");</script>
 	</body></html>`
 	_, br := testWorld(t, html)
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -667,14 +669,14 @@ func TestPerformanceNowVMSkew(t *testing.T) {
 	</script></body></html>`
 	net, _ := testWorld(t, html)
 	phys := New(net, NotABot(), "10.0.0.1", 1)
-	resPhys, err := phys.Visit("https://phish.example/")
+	resPhys, err := phys.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
 	vmProfile := HumanChrome()
 	vmProfile.VMTimingSkew = 4.0
 	vm := New(net, vmProfile, "10.0.0.2", 2)
-	resVM, err := vm.Visit("https://phish.example/")
+	resVM, err := vm.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -716,7 +718,7 @@ func TestUserAgentTimezoneLanguageCloak(t *testing.T) {
 	}
 	</script></body></html>`
 	_, br := testWorld(t, html)
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -727,7 +729,7 @@ func TestUserAgentTimezoneLanguageCloak(t *testing.T) {
 	odd := HumanChrome()
 	odd.Timezone = "UTC"
 	br2 := New(net, odd, "10.0.0.5", 5)
-	res2, err := br2.Visit("https://phish.example/")
+	res2, err := br2.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -740,7 +742,7 @@ func TestDocumentWrite(t *testing.T) {
 	_, br := testWorld(t, `<html><body><script>
 	document.write('<a href="https://written.example/x">link</a>');
 	</script></body></html>`)
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -762,7 +764,7 @@ func TestCreateElementAppendChildScript(t *testing.T) {
 	net.Serve("cdn2.example", func(*webnet.Request) *webnet.Response {
 		return &webnet.Response{Status: 200, Body: []byte(`console.log("injected ran");`)}
 	})
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -790,7 +792,7 @@ func TestXHROnloadCallback(t *testing.T) {
 	net.Serve("api.example", func(*webnet.Request) *webnet.Response {
 		return &webnet.Response{Status: 200, Body: []byte("payload123")}
 	})
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -805,7 +807,7 @@ func TestRelativeURLResolution(t *testing.T) {
 	<script src="lib/app.js"></script>
 	</body></html>`)
 	_ = net
-	res, err := br.Visit("https://phish.example/portal/login")
+	res, err := br.Visit(context.Background(), "https://phish.example/portal/login")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -828,7 +830,7 @@ func TestGetElementsByTagName(t *testing.T) {
 	<a href="/1">one</a><a href="/2">two</a>
 	<script>console.log("anchors:" + document.getElementsByTagName("a").length);</script>
 	</body></html>`)
-	res, err := br.Visit("https://phish.example/")
+	res, err := br.Visit(context.Background(), "https://phish.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -841,7 +843,7 @@ func TestLocationPartsExposed(t *testing.T) {
 	_, br := testWorld(t, `<html><body><script>
 	console.log(location.hostname + "|" + location.pathname + "|" + location.search + "|" + location.hash);
 	</script></body></html>`)
-	res, err := br.Visit("https://phish.example/p/q?a=1#frag")
+	res, err := br.Visit(context.Background(), "https://phish.example/p/q?a=1#frag")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -861,7 +863,7 @@ func TestNestedIframeDepthBounded(t *testing.T) {
 			`<html><body><iframe src="https://recursive.example/again"></iframe></body></html>`)}
 	})
 	br := New(net, NotABot(), "10.0.0.1", 1)
-	res, err := br.Visit("https://recursive.example/")
+	res, err := br.Visit(context.Background(), "https://recursive.example/")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,7 +33,7 @@ func (pg *page) setupEnvironment() {
 
 	// Virtual clock feeds Date.now().
 	ip.Now = func() float64 {
-		return float64(pg.br.Net.Clock.Now().UnixMilli())
+		return float64(pg.br.clock().Now().UnixMilli())
 	}
 	ip.Random = pg.br.random
 	ip.OnDebugger = func() { pg.debuggerHits++ }
@@ -116,9 +116,9 @@ func (pg *page) setupEnvironment() {
 	// stretched — the red-pill timing channel.
 	perf := minijs.NewObject()
 	startFuel := ip.Fuel()
-	startWall := pg.br.Net.Clock.Now()
+	startWall := pg.br.clock().Now()
 	perf.Set("now", minijs.NewHostFunc(func(interp *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
-		wallMs := float64(pg.br.Net.Clock.Now().Sub(startWall).Microseconds()) / 1000
+		wallMs := float64(pg.br.clock().Now().Sub(startWall).Microseconds()) / 1000
 		cpuMs := float64(startFuel-interp.Fuel()) / 5000
 		skew := prof.VMTimingSkew
 		if skew <= 0 {
@@ -268,7 +268,7 @@ func (pg *page) schedule(args []minijs.Value, repeating bool) minijs.Value {
 	pg.nextTimerID++
 	t := &timer{
 		id:        pg.nextTimerID,
-		due:       pg.br.Net.Clock.Now().Add(delay),
+		due:       pg.br.clock().Now().Add(delay),
 		fn:        args[0],
 		interval:  delay,
 		repeating: repeating,
@@ -278,11 +278,12 @@ func (pg *page) schedule(args []minijs.Value, repeating bool) minijs.Value {
 }
 
 // runEventLoop fires due timers in virtual time until the loop drains, the
-// wait window is exceeded, a navigation is requested, or the fire cap hits.
+// wait window is exceeded, a navigation is requested, the fire cap hits, or
+// the visit's context is cancelled.
 func (pg *page) runEventLoop() {
-	deadline := pg.br.Net.Clock.Now().Add(pg.br.EventLoopWindow)
+	deadline := pg.br.clock().Now().Add(pg.br.EventLoopWindow)
 	fires := 0
-	for fires < pg.br.MaxTimerFires && pg.pendingNav == "" {
+	for fires < pg.br.MaxTimerFires && pg.pendingNav == "" && pg.context().Err() == nil {
 		var next *timer
 		for _, t := range pg.timers {
 			if t.cancelled {
@@ -295,7 +296,7 @@ func (pg *page) runEventLoop() {
 		if next == nil || next.due.After(deadline) {
 			return
 		}
-		pg.br.Net.Clock.Set(next.due)
+		pg.br.clock().Set(next.due)
 		if next.repeating {
 			interval := next.interval
 			if interval <= 0 {
@@ -431,5 +432,5 @@ var _ = (*page).sortTimersForTest
 // request is the page-scoped HTTP helper used by XHR and subresources.
 func (pg *page) request(method, ref, initiator string, extraHeaders map[string]string, body string) (*webnet.Response, error) {
 	abs := pg.resolveRef(ref)
-	return pg.br.fetch(method, abs, initiator, pg.url.String(), extraHeaders, body, pg.rec)
+	return pg.br.fetch(pg.context(), method, abs, initiator, pg.url.String(), extraHeaders, body, pg.rec)
 }

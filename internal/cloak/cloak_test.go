@@ -1,6 +1,8 @@
 package cloak
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 	"time"
@@ -181,7 +183,7 @@ func TestFingerprintGateClientSide(t *testing.T) {
 	serveCloaked(net, "fp.evil", html)
 
 	human := browser.New(net, browser.NotABot(), net.AllocateIP(webnet.IPMobile), 1)
-	res, err := human.Visit("https://fp.evil/")
+	res, err := human.Visit(context.Background(), "https://fp.evil/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +194,7 @@ func TestFingerprintGateClientSide(t *testing.T) {
 	odd := browser.HumanChrome()
 	odd.Language = "ru-RU"
 	bot := browser.New(net, odd, net.AllocateIP(webnet.IPMobile), 2)
-	res2, err := bot.Visit("https://fp.evil/")
+	res2, err := bot.Visit(context.Background(), "https://fp.evil/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +210,7 @@ func TestInteractionGateClientSide(t *testing.T) {
 	serveCloaked(net, "interact.evil", html)
 
 	human := browser.New(net, browser.NotABot(), net.AllocateIP(webnet.IPMobile), 1)
-	res, err := human.Visit("https://interact.evil/")
+	res, err := human.Visit(context.Background(), "https://interact.evil/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +221,7 @@ func TestInteractionGateClientSide(t *testing.T) {
 	still := browser.HumanChrome()
 	still.MouseMovement = false
 	bot := browser.New(net, still, net.AllocateIP(webnet.IPMobile), 2)
-	res2, err := bot.Visit("https://interact.evil/")
+	res2, err := bot.Visit(context.Background(), "https://interact.evil/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +237,7 @@ func TestDelayedRevealClientSide(t *testing.T) {
 	serveCloaked(net, "delayjs.evil", html)
 
 	patient := browser.New(net, browser.NotABot(), net.AllocateIP(webnet.IPMobile), 1)
-	res, err := patient.Visit("https://delayjs.evil/")
+	res, err := patient.Visit(context.Background(), "https://delayjs.evil/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +247,7 @@ func TestDelayedRevealClientSide(t *testing.T) {
 
 	hasty := browser.New(net, browser.NotABot(), net.AllocateIP(webnet.IPMobile), 2)
 	hasty.EventLoopWindow = 2 * time.Second
-	res2, err := hasty.Visit("https://delayjs.evil/")
+	res2, err := hasty.Visit(context.Background(), "https://delayjs.evil/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +262,7 @@ func TestConsoleHijackClientSide(t *testing.T) {
 		`console.log("should vanish");</script></body></html>`
 	serveCloaked(net, "hijack.evil", html)
 	br := browser.New(net, browser.NotABot(), net.AllocateIP(webnet.IPMobile), 1)
-	res, err := br.Visit("https://hijack.evil/")
+	res, err := br.Visit(context.Background(), "https://hijack.evil/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +277,7 @@ func TestDebuggerTimerClientSide(t *testing.T) {
 	html := `<html><body><script>` + DebuggerTimer("c2.evil") + `</script></body></html>`
 	serveCloaked(net, "antidebug.evil", html)
 	br := browser.New(net, browser.NotABot(), net.AllocateIP(webnet.IPMobile), 1)
-	res, err := br.Visit("https://antidebug.evil/")
+	res, err := br.Visit(context.Background(), "https://antidebug.evil/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,12 +298,12 @@ func TestHueRotateClientSide(t *testing.T) {
 	serveCloaked(net, "rotated.evil", `<html><head><script>`+HueRotate(4)+
 		`</script></head><body>`+base+`</body></html>`)
 	br1 := browser.New(net, browser.NotABot(), net.AllocateIP(webnet.IPMobile), 1)
-	res1, err := br1.Visit("https://plain.evil/")
+	res1, err := br1.Visit(context.Background(), "https://plain.evil/")
 	if err != nil {
 		t.Fatal(err)
 	}
 	br2 := browser.New(net, browser.NotABot(), net.AllocateIP(webnet.IPMobile), 2)
-	res2, err := br2.Visit("https://rotated.evil/")
+	res2, err := br2.Visit(context.Background(), "https://rotated.evil/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +329,7 @@ func TestVictimCheckClientSide(t *testing.T) {
 
 	br := browser.New(net, browser.NotABot(), net.AllocateIP(webnet.IPMobile), 1)
 	// Targeted victim: base64("victim@corp.example") in the fragment.
-	res, err := br.Visit("https://track.evil/login#dmljdGltQGNvcnAuZXhhbXBsZQ==")
+	res, err := br.Visit(context.Background(), "https://track.evil/login#dmljdGltQGNvcnAuZXhhbXBsZQ==")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +339,7 @@ func TestVictimCheckClientSide(t *testing.T) {
 
 	br2 := browser.New(net, browser.NotABot(), net.AllocateIP(webnet.IPMobile), 2)
 	// Unknown address: base64("other@corp.example").
-	res2, err := br2.Visit("https://track.evil/login#b3RoZXJAY29ycC5leGFtcGxl")
+	res2, err := br2.Visit(context.Background(), "https://track.evil/login#b3RoZXJAY29ycC5leGFtcGxl")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +349,7 @@ func TestVictimCheckClientSide(t *testing.T) {
 
 	br3 := browser.New(net, browser.NotABot(), net.AllocateIP(webnet.IPMobile), 3)
 	// No token at all (a scanner fetching the bare URL).
-	res3, err := br3.Visit("https://track.evil/login")
+	res3, err := br3.Visit(context.Background(), "https://track.evil/login")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,7 +385,7 @@ func TestExfiltrateClientInfo(t *testing.T) {
 	serveCloaked(net, "exfil.evil", html)
 	victimIP := net.AllocateIP(webnet.IPMobile)
 	br := browser.New(net, browser.NotABot(), victimIP, 1)
-	if _, err := br.Visit("https://exfil.evil/"); err != nil {
+	if _, err := br.Visit(context.Background(), "https://exfil.evil/"); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(exfil, victimIP) {
@@ -418,7 +420,7 @@ func TestOTPAndMathChallengePagesBlockCrawlers(t *testing.T) {
 	serveCloaked(net, "math.evil", MathChallenge(3, 4, "/portal"))
 	for _, host := range []string{"otp.evil", "math.evil"} {
 		br := browser.New(net, browser.NotABot(), net.AllocateIP(webnet.IPMobile), 9)
-		res, err := br.Visit("https://" + host + "/")
+		res, err := br.Visit(context.Background(), "https://"+host+"/")
 		if err != nil {
 			t.Fatal(err)
 		}

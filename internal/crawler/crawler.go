@@ -11,6 +11,7 @@
 package crawler
 
 import (
+	"context"
 	"strings"
 
 	"crawlerbox/internal/browser"
@@ -167,5 +168,5 @@ func defaultHeadless(kind Kind) bool {
 
 // Visit crawls a URL.
 func (c *Crawler) Visit(url string) (*browser.Result, error) {
-	return c.Browser.Visit(url)
+	return c.Browser.Visit(context.Background(), url)
 }

@@ -1,0 +1,62 @@
+package crawlerbox
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// CorpusResult pairs one corpus message with its analysis outcome.
+type CorpusResult struct {
+	// Index is the message's position in the input slice.
+	Index int
+	// Analysis is the completed analysis (nil when Err is set).
+	Analysis *MessageAnalysis
+	// Err is the analysis failure, if any. A cancelled run reports the
+	// context error for every message that had not completed.
+	Err error
+}
+
+// AnalyzeCorpus analyzes a batch of messages with a bounded worker pool and
+// returns the results in input order.
+//
+// Results are bitwise deterministic regardless of workers: each message's
+// RNG stream is keyed by its spec.ID (not a shared counter), each analysis
+// runs on its own fork of the virtual clock (so latency and event-loop time
+// never cross analyses), and enrichment reads only the immutable background
+// passive-DNS ledger. workers=1 degenerates to the serial loop; workers<1
+// is treated as 1.
+func (p *Pipeline) AnalyzeCorpus(ctx context.Context, specs []MessageSpec, workers int) []CorpusResult {
+	results := make([]CorpusResult, len(specs))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) || ctx.Err() != nil {
+					return
+				}
+				ma, err := p.Analyze(ctx, specs[i])
+				results[i] = CorpusResult{Index: i, Analysis: ma, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range results {
+		results[i].Index = i
+		if results[i].Analysis == nil && results[i].Err == nil {
+			// Skipped by cancellation before a worker claimed it.
+			results[i].Err = ctx.Err()
+		}
+	}
+	return results
+}

@@ -1,6 +1,8 @@
 package crawlerbox
 
 import (
+	"context"
+
 	"crawlerbox/internal/browser"
 	"crawlerbox/internal/htmlx"
 	"crawlerbox/internal/imaging"
@@ -25,12 +27,22 @@ type DifferentialProbe struct {
 }
 
 // RunDifferentialProbe crawls url with a NotABot profile and a headless
-// automation profile and compares what each was served.
+// automation profile and compares what each was served. For probing inside
+// a corpus analysis, insert DiffProbeStage into Pipeline.Stages instead.
 func (p *Pipeline) RunDifferentialProbe(url string) (*DifferentialProbe, error) {
-	p.seed++
-	human := p.NewBrowser(p.seed)
+	return p.runDifferentialProbe(context.Background(), nil, url)
+}
 
-	p.seed++
+// runDifferentialProbe is the stage-aware core: with a non-nil Execution
+// the two browsers draw seeds from the per-message stream and tick the
+// analysis-local clock; without one they draw from the pipeline counter.
+func (p *Pipeline) runDifferentialProbe(ctx context.Context, ex *Execution, url string) (*DifferentialProbe, error) {
+	nextSeed := p.nextSeed
+	if ex != nil {
+		nextSeed = ex.nextSeed
+	}
+	human := p.NewBrowser(nextSeed())
+
 	botProfile := browser.HumanChrome()
 	botProfile.Name = "probe-bot"
 	botProfile.WebdriverFlag = true
@@ -47,10 +59,14 @@ func (p *Pipeline) RunDifferentialProbe(url string) (*DifferentialProbe, error) 
 	botProfile.TimezoneOffset = 0
 	botProfile.Language = "en"
 	botProfile.Languages = []string{"en"}
-	bot := browser.New(p.Net, botProfile, p.Net.AllocateIP(webnet.IPDatacenter), p.seed)
+	bot := browser.New(p.Net, botProfile, p.Net.AllocateIP(webnet.IPDatacenter), nextSeed())
+	if ex != nil {
+		ex.attach(human)
+		ex.attach(bot)
+	}
 
-	humanRes, humanErr := human.Visit(url)
-	botRes, botErr := bot.Visit(url)
+	humanRes, humanErr := human.Visit(ctx, url)
+	botRes, botErr := bot.Visit(ctx, url)
 
 	probe := &DifferentialProbe{HumanVisit: humanRes, BotVisit: botRes}
 	switch {

@@ -1,11 +1,13 @@
 package crawlerbox
 
 import (
+	"context"
 	"errors"
 	neturl "net/url"
 	"regexp"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"crawlerbox/internal/browser"
@@ -22,9 +24,12 @@ type ReferencePage struct {
 	Sig   imaging.Signature
 }
 
-// Pipeline is the CrawlerBox analysis pipeline. The crawler component is
-// pluggable (the paper stresses this modularity); NewBrowser supplies a
-// fresh instance per message so cookie state never leaks between analyses.
+// Pipeline is the CrawlerBox analysis pipeline, an explicit chain of stages
+// (Parse → Crawl → Interact → Classify → Census → Enrich). The crawler
+// component is pluggable (the paper stresses this modularity); NewBrowser
+// supplies a fresh instance per visit so cookie state never leaks between
+// analyses, and the stage chain itself can be reordered or extended via
+// Stages. A Pipeline is safe for concurrent Analyze calls.
 type Pipeline struct {
 	Net   *webnet.Internet
 	Whois *whois.Registry
@@ -36,8 +41,14 @@ type Pipeline struct {
 	Matcher imaging.FuzzyMatcher
 	// OCRMinScore tunes the OCR glyph matcher (0 = default).
 	OCRMinScore float64
+	// Stages overrides the analysis chain; nil means DefaultStages().
+	Stages []Stage
 
-	seed int64
+	// seed feeds browsers created outside a corpus run (AddReference, the
+	// legacy AnalyzeMessage entry point). Atomic so stray concurrent use is
+	// merely order-dependent, never a data race; corpus runs derive seeds
+	// from the message ID instead and never touch it.
+	seed atomic.Int64
 }
 
 // New returns a pipeline using a NotABot crawler on a mobile egress IP.
@@ -64,7 +75,7 @@ func (p *Pipeline) ocrMinScore() float64 {
 // its screenshot.
 func (p *Pipeline) AddReference(brand, loginURL string) error {
 	br := p.newBrowser()
-	res, err := br.Visit(loginURL)
+	res, err := br.Visit(context.Background(), loginURL)
 	if err != nil {
 		return err
 	}
@@ -72,9 +83,11 @@ func (p *Pipeline) AddReference(brand, loginURL string) error {
 	return nil
 }
 
+// nextSeed draws from the pipeline-level seed counter (non-corpus paths).
+func (p *Pipeline) nextSeed() int64 { return p.seed.Add(1) }
+
 func (p *Pipeline) newBrowser() *browser.Browser {
-	p.seed++
-	return p.NewBrowser(p.seed)
+	return p.NewBrowser(p.nextSeed())
 }
 
 // Outcome is the disposition of one analyzed message (the Section V
@@ -155,108 +168,129 @@ type CloakCensus struct {
 	TokenizedURL     bool
 }
 
+// ErrorKind distinguishes why a message landed in OutcomeError.
+type ErrorKind int
+
+// Error classes for OutcomeError messages.
+const (
+	// ErrorNone: the message did not land in OutcomeError.
+	ErrorNone ErrorKind = iota
+	// ErrorNetwork: every failed visit died at the network level (NXDOMAIN,
+	// unreachable, timeout) — the infrastructure is gone, typically a
+	// takedown or a burned domain.
+	ErrorNetwork
+	// ErrorContent: a server answered but served a broken resource (HTTP
+	// error status or an unparseable document).
+	ErrorContent
+)
+
+// String names the error kind.
+func (k ErrorKind) String() string {
+	switch k {
+	case ErrorNetwork:
+		return "network"
+	case ErrorContent:
+		return "content"
+	default:
+		return "none"
+	}
+}
+
 // MessageAnalysis is everything CrawlerBox logs for one message.
 type MessageAnalysis struct {
-	Parse       *ParseResult
-	Visits      []VisitRecord
-	Outcome     Outcome
+	Parse   *ParseResult
+	Visits  []VisitRecord
+	Outcome Outcome
+	// ErrorKind classifies OutcomeError messages as network-dead versus
+	// content-broken (ErrorNone otherwise).
+	ErrorKind   ErrorKind
 	SpearPhish  bool
 	Brand       string
 	Landing     *LandingInfo
 	Cloaks      CloakCensus
 	HotLoadsRef bool // page hot-loads assets from the impersonated brand
 	AnalyzedAt  time.Time
+	// Probes holds differential-cloaking observations when DiffProbeStage
+	// is in the chain.
+	Probes []*DifferentialProbe
 }
 
-// AnalyzeMessage runs the full pipeline for one raw message.
+// MessageSpec identifies one message for analysis.
+type MessageSpec struct {
+	// Raw is the RFC 5322 message bytes.
+	Raw []byte
+	// ID seeds the message's deterministic RNG stream. Corpus runners pass
+	// the message index so results are independent of scheduling order; a
+	// zero ID is valid (it still yields a well-mixed stream).
+	ID int64
+	// At is the virtual analysis time. When zero, the analysis forks the
+	// world clock at its current reading.
+	At time.Time
+}
+
+// AnalyzeMessage runs the full pipeline for one raw message with a seed
+// drawn from the pipeline counter — the serial, order-dependent entry
+// point. Corpus runs use Analyze/AnalyzeCorpus with explicit MessageSpecs.
 func (p *Pipeline) AnalyzeMessage(raw []byte) (*MessageAnalysis, error) {
-	parse, err := p.ParseMessage(raw)
-	if err != nil {
+	return p.Analyze(context.Background(), MessageSpec{Raw: raw, ID: p.nextSeed()})
+}
+
+// Analyze runs the stage chain over one message. Each call gets a private
+// Execution: a fork of the virtual clock and a seed stream keyed by
+// spec.ID, so concurrent calls neither race nor influence each other's
+// results. The context cancels the analysis between stages and round trips.
+func (p *Pipeline) Analyze(ctx context.Context, spec MessageSpec) (*MessageAnalysis, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ma := &MessageAnalysis{Parse: parse, AnalyzedAt: p.Net.Clock.Now()}
-
-	if parse.ZIPWithHTA {
-		ma.Outcome = OutcomeDownload
-		return ma, nil
+	clock := p.Net.Clock.Fork()
+	if !spec.At.IsZero() {
+		clock = webnet.NewClock(spec.At)
 	}
-	if len(parse.URLs) == 0 && len(parse.HTMLAttachments) == 0 {
-		ma.Outcome = OutcomeNoResource
-		return ma, nil
+	ex := &Execution{
+		Pipeline: p,
+		Raw:      spec.Raw,
+		Clock:    clock,
+		Analysis: &MessageAnalysis{AnalyzedAt: clock.Now()},
+		seedBase: spec.ID,
 	}
-
-	// Crawl every extracted URL.
-	for _, u := range parse.URLs {
-		p.crawlOne(ma, u.URL)
-	}
-	// Load HTML attachments locally (the Section V-B vector).
-	for _, att := range parse.HTMLAttachments {
-		br := p.newBrowser()
-		res, err := br.LoadHTML(att.Content, att.Filename)
-		ma.Visits = append(ma.Visits, VisitRecord{URL: "file:///" + att.Filename, Result: res, Err: err})
-	}
-
-	p.classify(ma)
-	p.census(ma)
-	p.enrich(ma)
-	return ma, nil
-}
-
-// crawlOne visits a URL and, when gates are recognized, performs the
-// pipeline's automated interaction steps (math-challenge solving, OTP entry
-// with codes recovered from the message, token-strip probing).
-func (p *Pipeline) crawlOne(ma *MessageAnalysis, rawURL string) {
-	br := p.newBrowser()
-	res, err := br.Visit(rawURL)
-	ma.Visits = append(ma.Visits, VisitRecord{URL: rawURL, Result: res, Err: err})
-	if err != nil || res == nil || res.DOM == nil {
-		return
-	}
-	// Math challenge: solve the trivial equation with custom code.
-	if target, ok := solveMathChallenge(res); ok {
-		ma.Cloaks.MathChallenge = true
-		next := resolveRef(res.FinalURL, target)
-		res2, err2 := p.newBrowser().Visit(next)
-		ma.Visits = append(ma.Visits, VisitRecord{URL: next, Result: res2, Err: err2})
-	}
-	// OTP prompt: try access codes recovered from the message text.
-	if pageHasOTPPrompt(res.DOM) {
-		ma.Cloaks.OTPPrompt = true
-		for _, code := range ma.Parse.OTPCodes {
-			next := appendQuery(res.FinalURL, "otp="+code)
-			res2, err2 := p.newBrowser().Visit(next)
-			ma.Visits = append(ma.Visits, VisitRecord{URL: next, Result: res2, Err: err2})
-			if res2 != nil && res2.DOM != nil && htmlx.HasPasswordInput(res2.DOM) {
+	for _, st := range p.stages() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := st.Run(ctx, ex); err != nil {
+			if errors.Is(err, ErrHalt) {
 				break
 			}
+			return nil, err
 		}
 	}
-	// Token-strip probe: visit the bare URL to expose tokenized cloaking.
-	if u, perr := neturl.Parse(rawURL); perr == nil && (u.RawQuery != "" || u.Fragment != "") {
-		bare := *u
-		bare.RawQuery = ""
-		bare.Fragment = ""
-		res3, err3 := p.newBrowser().Visit(bare.String())
-		if err3 == nil && res3 != nil && res3.DOM != nil {
-			full := res.DOM
-			if htmlx.HasPasswordInput(full) && !htmlx.HasPasswordInput(res3.DOM) {
-				ma.Cloaks.TokenizedURL = true
-			}
-		}
-	}
+	return ex.Analysis, nil
 }
 
-// classify derives the message outcome from the crawl results.
+func (p *Pipeline) stages() []Stage {
+	if len(p.Stages) > 0 {
+		return p.Stages
+	}
+	return DefaultStages()
+}
+
+// classify derives the message outcome from the crawl results, using
+// errIsNetwork to separate dead-infrastructure errors from content-level
+// failures.
 func (p *Pipeline) classify(ma *MessageAnalysis) {
-	var sawPhish, sawInteraction, sawBenign, sawError bool
+	var sawPhish, sawInteraction, sawBenign bool
+	var sawNetError, sawContentError bool
 	var phishVisit *VisitRecord
 	for i := range ma.Visits {
 		v := &ma.Visits[i]
 		switch {
+		case v.Err != nil && errIsNetwork(v.Err):
+			sawNetError = true
 		case v.Err != nil || v.Result == nil || v.Result.DOM == nil:
-			sawError = true
+			sawContentError = true
 		case v.Result.Status >= 400:
-			sawError = true
+			sawContentError = true
 		case hasPhishForm(v.Result):
 			sawPhish = true
 			if phishVisit == nil {
@@ -268,6 +302,7 @@ func (p *Pipeline) classify(ma *MessageAnalysis) {
 			sawBenign = true
 		}
 	}
+	sawError := sawNetError || sawContentError
 	switch {
 	case sawPhish:
 		ma.Outcome = OutcomeActivePhish
@@ -280,6 +315,13 @@ func (p *Pipeline) classify(ma *MessageAnalysis) {
 		ma.Outcome = OutcomeCloaked
 	default:
 		ma.Outcome = OutcomeError
+	}
+	if ma.Outcome == OutcomeError {
+		if sawNetError && !sawContentError {
+			ma.ErrorKind = ErrorNetwork
+		} else {
+			ma.ErrorKind = ErrorContent
+		}
 	}
 }
 
@@ -438,8 +480,11 @@ func censusRequest(c *CloakCensus, url string) {
 }
 
 // enrich joins the landing domain against WHOIS, the certificate store, and
-// the passive-DNS ledger.
-func (p *Pipeline) enrich(ma *MessageAnalysis) {
+// the passive-DNS background ledger. It reads volumes from the injected
+// background aggregates only — never the live query log — so the measured
+// victim traffic excludes the crawler's own resolutions and is identical no
+// matter what else the pipeline crawled, serially or concurrently.
+func (p *Pipeline) enrich(ma *MessageAnalysis, at time.Time) {
 	var landing *VisitRecord
 	for i := range ma.Visits {
 		v := &ma.Visits[i]
@@ -463,7 +508,7 @@ func (p *Pipeline) enrich(ma *MessageAnalysis) {
 		Registrable: d.Registrable,
 		TLD:         d.TLD,
 	}
-	if ip, err := p.Net.Resolve(host, "crawlerbox-enrich"); err == nil {
+	if ip, ok := p.Net.LookupDNS(host); ok {
 		info.IP = ip
 		if banner, ok := p.Net.BannerOf(ip); ok {
 			info.Banner = banner
@@ -477,7 +522,7 @@ func (p *Pipeline) enrich(ma *MessageAnalysis) {
 	if cert, ok := p.Net.CertFor(host); ok {
 		info.Cert = cert
 	}
-	total, maxDaily := p.Net.QueryVolume(host, 30*24*time.Hour, p.Net.Clock.Now())
+	total, maxDaily := p.Net.BackgroundQueryVolume(host, 30*24*time.Hour, at)
 	info.DNS30DayTotal = total
 	info.DNSMaxDaily = maxDaily
 	ma.Landing = info
@@ -497,11 +542,20 @@ func parseHTML(html string) []string {
 	return out
 }
 
+// appendQuery adds a key=value pair to a URL's query string, inserting it
+// before any fragment: "https://h/p#frag" becomes "https://h/p?kv#frag",
+// not the corrupt "https://h/p#frag?kv" (a fragment swallows everything
+// after the '#', so the server would never have seen the parameter).
 func appendQuery(rawURL, kv string) string {
-	if strings.Contains(rawURL, "?") {
-		return rawURL + "&" + kv
+	base, frag, hasFrag := strings.Cut(rawURL, "#")
+	sep := "?"
+	if strings.Contains(base, "?") {
+		sep = "&"
 	}
-	return rawURL + "?" + kv
+	if hasFrag {
+		return base + sep + kv + "#" + frag
+	}
+	return base + sep + kv
 }
 
 func resolveRef(base, ref string) string {
@@ -516,11 +570,11 @@ func resolveRef(base, ref string) string {
 	return bu.ResolveReference(ru).String()
 }
 
-// errIsNetwork reports network-level failures (used by reporting).
+// errIsNetwork reports network-level failures: the visit died before any
+// server produced content. classify uses it to split OutcomeError into
+// ErrorNetwork (dead infrastructure) and ErrorContent (broken pages).
 func errIsNetwork(err error) bool {
 	return errors.Is(err, webnet.ErrNXDomain) ||
 		errors.Is(err, webnet.ErrUnreachable) ||
 		errors.Is(err, webnet.ErrTimeout)
 }
-
-var _ = errIsNetwork

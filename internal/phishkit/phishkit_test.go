@@ -1,6 +1,8 @@
 package phishkit
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 	"time"
@@ -52,12 +54,12 @@ func TestBrandSiteAndCloneLookAlike(t *testing.T) {
 	})
 
 	br1 := newBrowser(net, 1)
-	legit, err := br1.Visit(legitURL)
+	legit, err := br1.Visit(context.Background(), legitURL)
 	if err != nil {
 		t.Fatal(err)
 	}
 	br2 := newBrowser(net, 2)
-	phish, err := br2.Visit(site.LandingURL)
+	phish, err := br2.Visit(context.Background(), site.LandingURL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +71,7 @@ func TestBrandSiteAndCloneLookAlike(t *testing.T) {
 	// And a different brand's page must NOT match.
 	otherURL := DeployBrandSite(net, BrandPayRoute)
 	br3 := newBrowser(net, 3)
-	other, err := br3.Visit(otherURL)
+	other, err := br3.Visit(context.Background(), otherURL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +109,7 @@ func TestTokenizedSpearPhish(t *testing.T) {
 		Tokens: []string{"jdoe", "asmith"},
 	})
 	br := newBrowser(net, 1)
-	res, err := br.Visit(site.LandingURL) // carries ?t=jdoe
+	res, err := br.Visit(context.Background(), site.LandingURL) // carries ?t=jdoe
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +120,7 @@ func TestTokenizedSpearPhish(t *testing.T) {
 		t.Error("victim email not personalized from token")
 	}
 	br2 := newBrowser(net, 2)
-	res2, err := br2.Visit("https://spear.buzz/login")
+	res2, err := br2.Visit(context.Background(), "https://spear.buzz/login")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +139,7 @@ func TestTurnstileGatedSite(t *testing.T) {
 	})
 	// A clean browser passes the challenge and reaches the form.
 	br := newBrowser(net, 1)
-	res, err := br.Visit(site.LandingURL)
+	res, err := br.Visit(context.Background(), site.LandingURL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +152,7 @@ func TestTurnstileGatedSite(t *testing.T) {
 	p.Headless = true
 	p.GPURenderer = "Google SwiftShader"
 	bot := browser.New(net, p, net.AllocateIP(webnet.IPMobile), 2)
-	res2, err := bot.Visit(site.LandingURL)
+	res2, err := bot.Visit(context.Background(), site.LandingURL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +171,7 @@ func TestTurnstilePlusTokenGate(t *testing.T) {
 		Tokens:    []string{"tkA"},
 	})
 	br := newBrowser(net, 1)
-	res, err := br.Visit(site.LandingURL)
+	res, err := br.Visit(context.Background(), site.LandingURL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +192,7 @@ func TestReCaptchaBackground(t *testing.T) {
 		ReCaptcha: rc,
 	})
 	br := newBrowser(net, 1)
-	res, err := br.Visit(site.LandingURL)
+	res, err := br.Visit(context.Background(), site.LandingURL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +216,7 @@ func TestHotLoadedBrandAssetsLeaveReferralTrail(t *testing.T) {
 		HotLoadBrandAssets: true,
 	})
 	br := newBrowser(net, 1)
-	if _, err := br.Visit(site.LandingURL); err != nil {
+	if _, err := br.Visit(context.Background(), site.LandingURL); err != nil {
 		t.Fatal(err)
 	}
 	// The brand's own traffic logs now show a request for its logo with a
@@ -241,7 +243,7 @@ func TestVictimCheckIntegration(t *testing.T) {
 	site.AddVictim("target@corp.example")
 	br := newBrowser(net, 1)
 	// base64("target@corp.example") = dGFyZ2V0QGNvcnAuZXhhbXBsZQ==
-	res, err := br.Visit(site.LandingURL + "#dGFyZ2V0QGNvcnAuZXhhbXBsZQ==")
+	res, err := br.Visit(context.Background(), site.LandingURL+"#dGFyZ2V0QGNvcnAuZXhhbXBsZQ==")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +251,7 @@ func TestVictimCheckIntegration(t *testing.T) {
 		t.Errorf("listed victim must see the page; errors=%v", res.ScriptErrors)
 	}
 	br2 := newBrowser(net, 2)
-	res2, err := br2.Visit(site.LandingURL) // no fragment
+	res2, err := br2.Visit(context.Background(), site.LandingURL) // no fragment
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +268,7 @@ func TestMobileOnlyQRSite(t *testing.T) {
 		MobileOnly: true,
 	})
 	desktop := newBrowser(net, 1)
-	res, err := desktop.Visit(site.LandingURL)
+	res, err := desktop.Visit(context.Background(), site.LandingURL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +278,7 @@ func TestMobileOnlyQRSite(t *testing.T) {
 	mobile := browser.HumanChrome()
 	mobile.UserAgent = "Mozilla/5.0 (iPhone; CPU iPhone OS 17_0) Safari/604.1"
 	mbr := browser.New(net, mobile, net.AllocateIP(webnet.IPMobile), 2)
-	res2, err := mbr.Visit(site.LandingURL)
+	res2, err := mbr.Visit(context.Background(), site.LandingURL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +295,7 @@ func TestOTPGatedSite(t *testing.T) {
 		OTPCode: "445566",
 	})
 	br := newBrowser(net, 1)
-	res, err := br.Visit(site.LandingURL)
+	res, err := br.Visit(context.Background(), site.LandingURL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +304,7 @@ func TestOTPGatedSite(t *testing.T) {
 	}
 	// A victim who types the code (simulated by following the gated URL).
 	br2 := newBrowser(net, 2)
-	res2, err := br2.Visit(site.LandingURL + "?otp=445566")
+	res2, err := br2.Visit(context.Background(), site.LandingURL+"?otp=445566")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,12 +322,12 @@ func TestHueRotateSiteStillMatchesFuzzyHashes(t *testing.T) {
 		HueRotateDeg: 4,
 	})
 	br1 := newBrowser(net, 1)
-	legit, err := br1.Visit(legitURL)
+	legit, err := br1.Visit(context.Background(), legitURL)
 	if err != nil {
 		t.Fatal(err)
 	}
 	br2 := newBrowser(net, 2)
-	phish, err := br2.Visit(site.LandingURL)
+	phish, err := br2.Visit(context.Background(), site.LandingURL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +345,7 @@ func TestDelayedActivationSite(t *testing.T) {
 		ActivateAt: _epoch.Add(8 * time.Hour),
 	})
 	br := newBrowser(net, 1)
-	res, err := br.Visit(site.LandingURL)
+	res, err := br.Visit(context.Background(), site.LandingURL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +354,7 @@ func TestDelayedActivationSite(t *testing.T) {
 	}
 	net.Clock.Advance(9 * time.Hour)
 	br2 := newBrowser(net, 2)
-	res2, err := br2.Visit(site.LandingURL)
+	res2, err := br2.Visit(context.Background(), site.LandingURL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +375,7 @@ func TestHTMLAttachmentVariants(t *testing.T) {
 
 	br := newBrowser(net, 1)
 	local := HTMLAttachment(site.LandingURL, "gyazo.example", false)
-	res, err := br.LoadHTML(local, "invoice.html")
+	res, err := br.LoadHTML(context.Background(), local, "invoice.html")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +397,7 @@ func TestHTMLAttachmentVariants(t *testing.T) {
 
 	br2 := newBrowser(net, 2)
 	redirecting := HTMLAttachment(site.LandingURL, "gyazo.example", true)
-	res2, err := br2.LoadHTML(redirecting, "doc.html")
+	res2, err := br2.LoadHTML(context.Background(), redirecting, "doc.html")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +414,7 @@ func TestScannerIPBlockedSite(t *testing.T) {
 		BlockScannerIPs: true,
 	})
 	scanner := browser.New(net, browser.NotABot(), net.AllocateIP(webnet.IPSecurityVendor), 1)
-	res, err := scanner.Visit(site.LandingURL)
+	res, err := scanner.Visit(context.Background(), site.LandingURL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -420,7 +422,7 @@ func TestScannerIPBlockedSite(t *testing.T) {
 		t.Error("security-vendor IP must be cloaked")
 	}
 	victim := newBrowser(net, 2) // mobile IP
-	res2, err := victim.Visit(site.LandingURL)
+	res2, err := victim.Visit(context.Background(), site.LandingURL)
 	if err != nil {
 		t.Fatal(err)
 	}

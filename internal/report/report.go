@@ -8,6 +8,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -30,10 +31,19 @@ type Run struct {
 	Errors int
 }
 
-// Analyze runs the pipeline over every corpus message in delivery order,
-// advancing the virtual clock to each message's delivery time first (the
-// paper analyzes messages as soon as they are reported).
+// Analyze runs the pipeline over every corpus message serially. It is
+// AnalyzeParallel with one worker.
 func Analyze(c *dataset.Corpus) (*Run, error) {
+	return AnalyzeParallel(context.Background(), c, 1)
+}
+
+// AnalyzeParallel runs the pipeline over the corpus with a bounded worker
+// pool. Each message is analyzed at its delivery time plus the paper's
+// two-hour reporting lag, on a private fork of the virtual clock, with a
+// seed stream keyed by its corpus index — so the aggregated Run is bitwise
+// identical for every worker count. The context cancels the run; messages
+// not yet analyzed at cancellation are counted in Run.Errors.
+func AnalyzeParallel(ctx context.Context, c *dataset.Corpus, workers int) (*Run, error) {
 	pipe := crawlerbox.New(c.Net, c.Registry)
 	brands := make([]string, 0, len(c.BrandURLs))
 	for b := range c.BrandURLs {
@@ -45,17 +55,23 @@ func Analyze(c *dataset.Corpus) (*Run, error) {
 			return nil, fmt.Errorf("report: reference %s: %w", b, err)
 		}
 	}
-	run := &Run{Corpus: c}
+	specs := make([]crawlerbox.MessageSpec, len(c.Messages))
 	for i := range c.Messages {
 		m := &c.Messages[i]
-		c.Net.Clock.Set(m.Delivered.Add(2 * time.Hour))
-		ma, err := pipe.AnalyzeMessage(m.Raw)
-		if err != nil {
+		specs[i] = crawlerbox.MessageSpec{
+			Raw: m.Raw,
+			ID:  int64(i + 1),
+			At:  m.Delivered.Add(2 * time.Hour),
+		}
+	}
+	run := &Run{Corpus: c}
+	for _, res := range pipe.AnalyzeCorpus(ctx, specs, workers) {
+		if res.Err != nil {
 			run.Errors++
 			run.Analyses = append(run.Analyses, nil)
 			continue
 		}
-		run.Analyses = append(run.Analyses, ma)
+		run.Analyses = append(run.Analyses, res.Analysis)
 	}
 	return run, nil
 }

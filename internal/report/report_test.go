@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -240,6 +241,50 @@ func TestRenderTable1(t *testing.T) {
 	}
 	if !strings.Contains(text, "v*") {
 		t.Errorf("Table I should carry the headless footnote marker:\n%s", text)
+	}
+}
+
+// TestAnalyzeParallelAggregatesBitwiseIdentical is the PR's acceptance
+// criterion: running the corpus through the worker pool must yield rendered
+// aggregates byte-identical to the serial run. Each run gets a fresh
+// same-seed corpus because analysis mutates world state (harvested
+// credentials, challenge tokens).
+func TestAnalyzeParallelAggregatesBitwiseIdentical(t *testing.T) {
+	render := func(workers int) string {
+		c, err := dataset.Generate(dataset.Config{Seed: 42, Scale: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := AnalyzeParallel(context.Background(), c, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Errors != 0 {
+			t.Fatalf("workers=%d: %d analysis errors", workers, run.Errors)
+		}
+		var sb strings.Builder
+		for _, text := range []string{
+			run.RenderDisposition(), run.RenderFigure2(), run.RenderTable2(),
+			run.RenderFigure3(), run.RenderSpear(), run.RenderNonTargeted(),
+			run.RenderCloaks(),
+		} {
+			sb.WriteString(text)
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		sl := strings.Split(serial, "\n")
+		pl := strings.Split(parallel, "\n")
+		for i := 0; i < len(sl) && i < len(pl); i++ {
+			if sl[i] != pl[i] {
+				t.Fatalf("aggregates diverge at line %d:\n  workers=1: %q\n  workers=8: %q",
+					i, sl[i], pl[i])
+			}
+		}
+		t.Fatalf("aggregates diverge in length: %d vs %d lines", len(sl), len(pl))
 	}
 }
 

@@ -53,3 +53,11 @@ func (c *Clock) Set(t time.Time) {
 		c.now = t
 	}
 }
+
+// Fork returns an independent clock starting at this clock's current time.
+// Concurrent analyses each fork the world clock so that latency accounting
+// and event-loop time in one analysis never leak into another — the
+// foundation of the pipeline's determinism-under-parallelism guarantee.
+func (c *Clock) Fork() *Clock {
+	return &Clock{now: c.Now()}
+}

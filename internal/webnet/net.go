@@ -1,6 +1,7 @@
 package webnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -77,6 +78,11 @@ type Request struct {
 	// TLSFingerprint is a JA3-style client fingerprint string; WAFs use
 	// it to distinguish browser TLS stacks from tool stacks.
 	TLSFingerprint string
+	// Clock, when set, carries the caller's virtual clock: latency is
+	// charged to it and the exchange is timestamped from it instead of the
+	// Internet's shared clock. Concurrent analyses each carry their own
+	// forked clock so round trips in one never advance time in another.
+	Clock *Clock
 }
 
 // Header returns a request header (case-insensitive).
@@ -247,17 +253,33 @@ func (n *Internet) RemoveDNS(host string) {
 
 // Resolve looks up a host, recording the query in the passive-DNS ledger.
 func (n *Internet) Resolve(host, clientIP string) (string, error) {
+	return n.resolveAt(host, clientIP, n.Clock.Now())
+}
+
+// resolveAt is Resolve with an explicit observation timestamp, so requests
+// carrying a forked clock stamp the ledger with their own virtual time.
+func (n *Internet) resolveAt(host, clientIP string, at time.Time) (string, error) {
 	host = strings.ToLower(host)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.queryLog[host] = append(n.queryLog[host], QueryRecord{
-		Host: host, At: n.Clock.Now(), From: clientIP,
+		Host: host, At: at, From: clientIP,
 	})
 	ip, ok := n.dns[host]
 	if !ok {
 		return "", fmt.Errorf("resolving %q: %w", host, ErrNXDomain)
 	}
 	return ip, nil
+}
+
+// LookupDNS returns the address for host without recording a passive-DNS
+// observation. Enrichment joins use it so the pipeline's own lookups never
+// inflate the victim-traffic ledger it is measuring.
+func (n *Internet) LookupDNS(host string) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ip, ok := n.dns[strings.ToLower(host)]
+	return ip, ok
 }
 
 // RecordBackgroundQueries injects passive-DNS observations that did not
@@ -330,6 +352,30 @@ func (n *Internet) QueryVolume(host string, window time.Duration, until time.Tim
 	return total, maxDaily
 }
 
+// BackgroundQueryVolume summarizes passive-DNS activity for host inside
+// [until-window, until] counting only the injected background (victim)
+// aggregates, never the crawler's own live resolutions. This is what the
+// Umbrella join measures — how much real traffic a domain attracts — and,
+// unlike QueryVolume, its result does not depend on what else the pipeline
+// happened to crawl, which keeps concurrent corpus analyses deterministic.
+func (n *Internet) BackgroundQueryVolume(host string, window time.Duration, until time.Time) (total int, maxDaily int) {
+	host = strings.ToLower(host)
+	since := until.Add(-window)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for day, c := range n.queryAgg[host] {
+		t, err := time.Parse("2006-01-02", day)
+		if err != nil || t.Before(since.Add(-24*time.Hour)) || t.After(until) {
+			continue
+		}
+		total += c
+		if c > maxDaily {
+			maxDaily = c
+		}
+	}
+	return total, maxDaily
+}
+
 // IssueCert creates a TLS certificate for host, appends it to the CT log,
 // and returns it.
 func (n *Internet) IssueCert(host, issuer string, issuedAt time.Time) *Certificate {
@@ -387,36 +433,50 @@ func (n *Internet) Unserve(host string) {
 // Do performs one HTTP round trip: DNS resolution (logged), server lookup,
 // handler dispatch, latency accounting, and traffic logging.
 func (n *Internet) Do(req *Request) (*Response, error) {
+	return n.DoCtx(context.Background(), req)
+}
+
+// DoCtx is Do with cancellation: the round trip is abandoned before DNS
+// resolution when ctx is done. Latency is charged to req.Clock when the
+// request carries one, otherwise to the shared clock.
+func (n *Internet) DoCtx(ctx context.Context, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	req.Host = strings.ToLower(req.Host)
-	if _, err := n.Resolve(req.Host, req.ClientIP); err != nil {
+	clock := n.Clock
+	if req.Clock != nil {
+		clock = req.Clock
+	}
+	if _, err := n.resolveAt(req.Host, req.ClientIP, clock.Now()); err != nil {
 		return nil, err
 	}
 	n.mu.Lock()
 	handler, ok := n.servers[req.Host]
 	latency := n.RequestLatency
 	n.mu.Unlock()
-	n.Clock.Advance(latency)
+	clock.Advance(latency)
 	if !ok {
-		n.logExchange(req, 0)
+		n.logExchange(req, 0, clock.Now())
 		return nil, fmt.Errorf("connecting to %q: %w", req.Host, ErrUnreachable)
 	}
 	resp := handler(req)
 	if resp == nil {
-		n.logExchange(req, 0)
+		n.logExchange(req, 0, clock.Now())
 		return nil, fmt.Errorf("waiting for %q: %w", req.Host, ErrTimeout)
 	}
 	if resp.Headers == nil {
 		resp.Headers = map[string]string{}
 	}
-	n.logExchange(req, resp.Status)
+	n.logExchange(req, resp.Status, clock.Now())
 	return resp, nil
 }
 
-func (n *Internet) logExchange(req *Request, status int) {
+func (n *Internet) logExchange(req *Request, status int, at time.Time) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.trafficLog = append(n.trafficLog, LoggedExchange{
-		Request: *req, Status: status, At: n.Clock.Now(),
+		Request: *req, Status: status, At: at,
 	})
 }
 
