@@ -1,11 +1,18 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+# Benchmark-trajectory knobs: the full suite runs BENCHCOUNT times per
+# benchmark so BENCH_$(PR).json carries mean/min/max per metric.
+BENCHTIME ?= 0.2s
+BENCHCOUNT ?= 5
+PR ?= 2
 
-# check is the repository's quality gate (DESIGN.md §7): compile, vet,
-# the full test suite under the race detector, and one pass of the
-# pipeline-throughput benchmarks (serial + worker pool).
-check: build vet race bench
+.PHONY: check build vet test race bench benchquick
+
+# check is the repository's quality gate (DESIGN.md §7): compile, vet, the
+# full test suite (plain and under the race detector — the race run includes
+# the workers-1-vs-8 determinism tests and the concurrent-census test), and
+# one pass of the pipeline-throughput benchmarks (serial + worker pool).
+check: build vet test race benchquick
 
 build:
 	$(GO) build ./...
@@ -19,5 +26,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench:
+# benchquick is the smoke-level benchmark pass used by check.
+benchquick:
 	$(GO) test -run='^$$' -bench=BenchmarkPipelineThroughput -benchtime=1x .
+
+# bench runs the full bench_test.go suite with allocation reporting and
+# BENCHCOUNT repetitions, then distills the output into BENCH_$(PR).json —
+# the perf trajectory future PRs regress-check against.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) . \
+		| $(GO) run ./cmd/benchjson -o BENCH_$(PR).json

@@ -263,18 +263,15 @@ func BenchmarkFaultyQRBug(b *testing.B) {
 }
 
 // BenchmarkHotLinkedResources measures referral-trail detection over the
-// analyzed corpus (the Section V-A early-warning signal).
+// analyzed corpus (the Section V-A early-warning signal), reading the
+// exchange ledger through the zero-copy EachTraffic view instead of the
+// copying Traffic() snapshot.
 func BenchmarkHotLinkedResources(b *testing.B) {
 	run := benchRun(b)
 	b.ResetTimer()
 	var count int
 	for i := 0; i < b.N; i++ {
-		count = 0
-		for _, e := range run.Corpus.Net.Traffic() {
-			if e.Request.Path == "/assets/logo.png" && e.Request.Header("Referer") != "" {
-				count++
-			}
-		}
+		count = run.HotLoadReferrals()
 	}
 	b.StopTimer()
 	b.Logf("hot-load referral requests observed: %d", count)

@@ -1,0 +1,175 @@
+// Command benchjson turns `go test -bench` output into a benchmark
+// trajectory file. It reads benchmark result lines from stdin, echoes them
+// to stdout unchanged (so it can sit at the end of a pipe without hiding
+// the run), and writes per-benchmark summary statistics as JSON.
+//
+// With -count=N each benchmark contributes N samples; the JSON records
+// mean/min/max per metric so later PRs can regress-check against the
+// recorded trajectory (BENCH_<pr>.json files at the repository root).
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem -count=5 . | benchjson -o BENCH_2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricStat summarizes one metric's samples across -count repetitions.
+type metricStat struct {
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	N    int     `json:"n"`
+}
+
+// benchResult accumulates samples for one benchmark name.
+type benchResult struct {
+	name    string
+	metrics map[string][]float64
+}
+
+// report is the emitted JSON document.
+type report struct {
+	Schema     string                            `json:"schema"`
+	Goos       string                            `json:"goos,omitempty"`
+	Goarch     string                            `json:"goarch,omitempty"`
+	CPU        string                            `json:"cpu,omitempty"`
+	Benchmarks map[string]map[string]*metricStat `json:"benchmarks"`
+}
+
+// metricKey maps a benchmark output unit to a stable JSON key.
+func metricKey(unit string) string {
+	switch unit {
+	case "ns/op":
+		return "ns_per_op"
+	case "B/op":
+		return "bytes_per_op"
+	case "allocs/op":
+		return "allocs_per_op"
+	case "MB/s":
+		return "mb_per_s"
+	default:
+		// Custom b.ReportMetric units, e.g. msgs/s.
+		return strings.NewReplacer("/", "_per_", "-", "_").Replace(unit)
+	}
+}
+
+// parseLine extracts (name, metric samples) from one benchmark output line:
+//
+//	BenchmarkFoo/bar-4   1234   56.7 ns/op   8 B/op   2 allocs/op
+//
+// The iteration count is discarded; every following "<value> <unit>" pair
+// is a metric sample. Returns ok=false for non-benchmark lines.
+func parseLine(line string) (string, map[string]float64, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", nil, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return "", nil, false
+	}
+	// The name is kept verbatim (minus the Benchmark prefix), including any
+	// GOMAXPROCS suffix: stripping numeric suffixes would merge distinct
+	// sub-benchmarks like workers-1 and workers-8 on single-CPU hosts.
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", nil, false
+	}
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[metricKey(fields[i+1])] = v
+	}
+	return name, metrics, true
+}
+
+func main() {
+	out := flag.String("o", "BENCH.json", "output JSON path")
+	flag.Parse()
+
+	results := map[string]*benchResult{}
+	var order []string
+	rep := &report{Schema: "crawlerbox-bench/v1", Benchmarks: map[string]map[string]*metricStat{}}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		name, metrics, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		r := results[name]
+		if r == nil {
+			r = &benchResult{name: name, metrics: map[string][]float64{}}
+			results[name] = r
+			order = append(order, name)
+		}
+		for k, v := range metrics {
+			r.metrics[k] = append(r.metrics[k], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	sort.Strings(order)
+	for _, name := range order {
+		r := results[name]
+		stats := map[string]*metricStat{}
+		for k, samples := range r.metrics {
+			st := &metricStat{Min: samples[0], Max: samples[0], N: len(samples)}
+			var sum float64
+			for _, v := range samples {
+				sum += v
+				if v < st.Min {
+					st.Min = v
+				}
+				if v > st.Max {
+					st.Max = v
+				}
+			}
+			st.Mean = sum / float64(len(samples))
+			stats[k] = st
+		}
+		rep.Benchmarks[name] = stats
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: marshal:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(order), *out)
+}

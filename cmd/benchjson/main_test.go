@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	name, m, ok := parseLine("BenchmarkPerceptualHashing/pHash-8 \t 993\t  206316 ns/op\t   28208 B/op\t       6 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if name != "PerceptualHashing/pHash-8" {
+		t.Errorf("name = %q", name)
+	}
+	for k, want := range map[string]float64{
+		"ns_per_op": 206316, "bytes_per_op": 28208, "allocs_per_op": 6,
+	} {
+		if m[k] != want {
+			t.Errorf("%s = %v, want %v", k, m[k], want)
+		}
+	}
+}
+
+func TestParseLineCustomMetric(t *testing.T) {
+	name, m, ok := parseLine("BenchmarkPipelineThroughputParallel/workers-8 \t 5\t 240000000 ns/op\t 533.2 msgs/s")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if name != "PipelineThroughputParallel/workers-8" {
+		t.Errorf("name = %q", name)
+	}
+	if m["msgs_per_s"] != 533.2 {
+		t.Errorf("msgs_per_s = %v", m["msgs_per_s"])
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tcrawlerbox\t2.5s",
+		"BenchmarkBroken abc 1 ns/op",
+		"--- BENCH: BenchmarkFoo",
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Errorf("line %q should not parse", line)
+		}
+	}
+}

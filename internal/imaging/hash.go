@@ -2,42 +2,68 @@ package imaging
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"crawlerbox/internal/stats"
 )
+
+// phashSide is the downsample side length of the DCT-based perceptual hash.
+const phashSide = 32
+
+// phashCos is the DCT-II cosine kernel for a phashSide-point transform,
+// precomputed once at package init. Rebuilding it per PHash call (1024
+// math.Cos evaluations and an 8 KiB allocation) used to dominate the
+// hash's allocation profile; the kernel depends only on the transform
+// size, so it is hoisted to package level and shared by every call.
+var phashCos [phashSide * phashSide]float64
+
+func init() {
+	for k := 0; k < phashSide; k++ {
+		for n := 0; n < phashSide; n++ {
+			phashCos[k*phashSide+n] = math.Cos(math.Pi * float64(k) * (2*float64(n) + 1) / (2 * phashSide))
+		}
+	}
+}
 
 // PHash computes a 64-bit DCT-based perceptual hash: the image is resized to
 // 32x32 grayscale, transformed with a 2D DCT-II, and the 8x8 lowest
 // frequencies (excluding the DC term for the median) are thresholded at
 // their median. Robust to scaling, mild cropping, noise, and — because it
 // discards chroma — to the hue-rotate evasion.
+//
+// The working buffers are fixed-size stack arrays and the cosine kernel is
+// the package-level phashCos table, so the only heap allocations per call
+// are the downsampled 32x32 image.
 func PHash(img *Image) uint64 {
-	const side = 32
+	const side = phashSide
 	small, err := img.ResizeBox(side, side)
 	if err != nil {
 		// Resize only fails on non-positive target dimensions; side is a
 		// constant, so this is unreachable for a valid receiver.
 		panic("imaging: internal resize failure: " + err.Error())
 	}
-	gray := make([]float64, side*side)
-	for y := 0; y < side; y++ {
-		for x := 0; x < side; x++ {
-			gray[y*side+x] = small.Gray(x, y)
-		}
+	var gray [side * side]float64
+	for i, c := range small.Pix {
+		gray[i] = 0.299*float64(c.R) + 0.587*float64(c.G) + 0.114*float64(c.B)
 	}
-	freq := dct2d(gray, side)
-	// Collect the top-left 8x8 block, skipping the DC coefficient.
-	coeffs := make([]float64, 0, 63)
+	var tmp, freq [side * side]float64
+	dct2d(&gray, &tmp, &freq)
+	// Collect the top-left 8x8 block, skipping the DC coefficient, and
+	// threshold at the median (the 32nd order statistic of 63 values).
+	var coeffs [63]float64
+	i := 0
 	for y := 0; y < 8; y++ {
 		for x := 0; x < 8; x++ {
 			if x == 0 && y == 0 {
 				continue
 			}
-			coeffs = append(coeffs, freq[y*side+x])
+			coeffs[i] = freq[y*side+x]
+			i++
 		}
 	}
-	med := medianOf(coeffs)
+	sorted := coeffs
+	slices.Sort(sorted[:])
+	med := sorted[31]
 	var hash uint64
 	bit := 0
 	for y := 0; y < 8; y++ {
@@ -116,50 +142,33 @@ func (fm FuzzyMatcher) Match(a, b Signature) (bool, int, int) {
 	return dp <= fm.PHashMax && dd <= fm.DHashMax, dp, dd
 }
 
-// dct2d computes a 2D DCT-II of a side x side block using the separable
-// row-column method with precomputed cosine tables.
-func dct2d(data []float64, side int) []float64 {
-	cosTable := make([]float64, side*side)
-	for k := 0; k < side; k++ {
-		for n := 0; n < side; n++ {
-			cosTable[k*side+n] = math.Cos(math.Pi * float64(k) * (2*float64(n) + 1) / (2 * float64(side)))
-		}
-	}
-	tmp := make([]float64, side*side)
+// dct2d computes a 2D DCT-II of a phashSide x phashSide block using the
+// separable row-column method against the package-level cosine kernel,
+// writing intermediates into tmp and the result into out. All three
+// buffers are caller-provided so the transform itself allocates nothing.
+func dct2d(data, tmp, out *[phashSide * phashSide]float64) {
+	const side = phashSide
 	// Rows.
 	for y := 0; y < side; y++ {
+		row := data[y*side : (y+1)*side]
 		for k := 0; k < side; k++ {
+			cos := phashCos[k*side : (k+1)*side]
 			var sum float64
 			for n := 0; n < side; n++ {
-				sum += data[y*side+n] * cosTable[k*side+n]
+				sum += row[n] * cos[n]
 			}
 			tmp[y*side+k] = sum
 		}
 	}
-	out := make([]float64, side*side)
 	// Columns.
 	for x := 0; x < side; x++ {
 		for k := 0; k < side; k++ {
+			cos := phashCos[k*side : (k+1)*side]
 			var sum float64
 			for n := 0; n < side; n++ {
-				sum += tmp[n*side+x] * cosTable[k*side+n]
+				sum += tmp[n*side+x] * cos[n]
 			}
 			out[k*side+x] = sum
 		}
 	}
-	return out
-}
-
-func medianOf(xs []float64) float64 {
-	cp := make([]float64, len(xs))
-	copy(cp, xs)
-	sort.Float64s(cp)
-	n := len(cp)
-	if n == 0 {
-		return 0
-	}
-	if n%2 == 1 {
-		return cp[n/2]
-	}
-	return (cp[n/2-1] + cp[n/2]) / 2
 }

@@ -70,9 +70,12 @@ func (f *finderCandidate) module() float64 { return f.sumModule / f.n }
 func locate(img *imaging.Image) (location, error) {
 	dark := binarize(img)
 	var candidates []*finderCandidate
+	// Run buffers are reused across scan rows; rowRuns used to allocate a
+	// fresh pair per row, which dominated the locator's allocation count.
+	var runs, starts []int
 	// Horizontal scan for 1:1:3:1:1 runs, confirmed vertically.
 	for y := 0; y < img.H; y++ {
-		runs, starts := rowRuns(dark, img.W, y)
+		runs, starts = rowRuns(dark, img.W, y, runs[:0], starts[:0])
 		for i := 0; i+4 < len(runs); i++ {
 			// Runs alternate colors; the pattern must start dark.
 			if !dark[y*img.W+starts[i]] {
@@ -122,17 +125,23 @@ func locate(img *imaging.Image) (location, error) {
 
 func binarize(img *imaging.Image) []bool {
 	dark := make([]bool, img.W*img.H)
-	for y := 0; y < img.H; y++ {
-		for x := 0; x < img.W; x++ {
-			dark[y*img.W+x] = img.Gray(x, y) < 128
-		}
+	// Direct pixel reads: Image.Gray routes every sample through a
+	// bounds-checked At call, which this whole-image pass doesn't need.
+	for i, c := range img.Pix {
+		dark[i] = grayOf(c) < 128
 	}
 	return dark
 }
 
-// rowRuns returns the run lengths and start offsets across row y.
-func rowRuns(dark []bool, w, y int) ([]int, []int) {
-	var runs, starts []int
+// grayOf is the ITU-R BT.601 luma of one pixel, identical to
+// imaging.Image.Gray for in-bounds coordinates.
+func grayOf(c imaging.RGB) float64 {
+	return 0.299*float64(c.R) + 0.587*float64(c.G) + 0.114*float64(c.B)
+}
+
+// rowRuns returns the run lengths and start offsets across row y, appending
+// into the caller-provided buffers so scans can reuse them across rows.
+func rowRuns(dark []bool, w, y int, runs, starts []int) ([]int, []int) {
 	start := 0
 	for x := 1; x <= w; x++ {
 		if x < w && dark[y*w+x] == dark[y*w+x-1] {
@@ -256,17 +265,19 @@ func sample(img *imaging.Image, loc location) (*Matrix, error) {
 			}
 			darkVotes, total := 0, 0
 			r := int(math.Max(1, loc.module/4))
-			for dy := -r; dy <= r; dy++ {
-				for dx := -r; dx <= r; dx++ {
-					x, y := int(cx)+dx, int(cy)+dy
-					if x < 0 || y < 0 || x >= img.W || y >= img.H {
-						continue
-					}
-					total++
-					if img.Gray(x, y) < 128 {
+			// The neighborhood is bounds-clipped up front, so the inner
+			// loop reads pixels directly instead of going through the
+			// per-sample bounds checks of Image.Gray.
+			x0, x1 := max(int(cx)-r, 0), min(int(cx)+r, img.W-1)
+			y0, y1 := max(int(cy)-r, 0), min(int(cy)+r, img.H-1)
+			for y := y0; y <= y1; y++ {
+				row := img.Pix[y*img.W+x0 : y*img.W+x1+1]
+				for _, c := range row {
+					if grayOf(c) < 128 {
 						darkVotes++
 					}
 				}
+				total += len(row)
 			}
 			m.Modules[my*loc.size+mx] = total > 0 && darkVotes*2 > total
 		}

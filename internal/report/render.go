@@ -5,18 +5,29 @@ import (
 	"strings"
 
 	"crawlerbox/internal/crawler"
+	"crawlerbox/internal/urlx"
 )
 
 // Month labels for Figure 2.
 var _months = [10]string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct"}
 
+// Each renderer delegates to an unexported formatting function over plain
+// aggregate values. The split keeps formatting independent of how the
+// aggregate was computed, which is what lets report_equiv_test.go assert
+// byte-identical output between the memoized census and the original
+// per-call scans.
+
 // RenderDisposition formats the Section V message breakdown.
 func (r *Run) RenderDisposition() string {
+	return formatDisposition(r.Disposition())
+}
+
+func formatDisposition(rows []DispositionRow) string {
 	var sb strings.Builder
 	sb.WriteString("Message disposition (Section V)\n")
 	sb.WriteString("-------------------------------\n")
 	total := 0
-	for _, row := range r.Disposition() {
+	for _, row := range rows {
 		fmt.Fprintf(&sb, "%-22s %6d  (%5.1f%%)\n", row.Label, row.Count, row.Percent)
 		total += row.Count
 	}
@@ -26,7 +37,11 @@ func (r *Run) RenderDisposition() string {
 
 // RenderFigure2 formats the monthly volume series as an ASCII bar chart.
 func (r *Run) RenderFigure2() string {
-	series := r.MonthlySeries()
+	f2, err := r.Figure2()
+	return formatFigure2(r.MonthlySeries(), f2, err)
+}
+
+func formatFigure2(series [10]int, f2 Figure2Stats, err error) string {
 	maxV := 1
 	for _, v := range series {
 		if v > maxV {
@@ -40,7 +55,7 @@ func (r *Run) RenderFigure2() string {
 		bar := strings.Repeat("#", v*50/maxV)
 		fmt.Fprintf(&sb, "%s %5d %s\n", _months[i], v, bar)
 	}
-	if f2, err := r.Figure2(); err == nil {
+	if err == nil {
 		fmt.Fprintf(&sb, "mean=%.1f sd=%.1f  (2023 baseline mean=%.1f sd=%.1f)\n",
 			f2.Mean2024, f2.Std2024, f2.Mean2023, f2.Std2023)
 		fmt.Fprintf(&sb, "paired t-test: calendar p=%.4f, rank p=%.4f (paper: p=0.008)\n",
@@ -51,16 +66,20 @@ func (r *Run) RenderFigure2() string {
 
 // RenderTable2 formats the TLD distribution.
 func (r *Run) RenderTable2() string {
+	return formatTable2(r.Table2())
+}
+
+func formatTable2(rows []urlx.TLDCount) string {
 	var sb strings.Builder
 	sb.WriteString("Table II: phishing domains per TLD\n")
 	sb.WriteString("----------------------------------\n")
 	sb.WriteString("Rank  TLD        Domains\n")
-	for i, row := range r.Table2() {
+	for i, row := range rows {
 		if i >= 10 {
 			// Collapse the tail like the paper's "Other" row.
 			rest := 0
 			var pct float64
-			for _, rr := range r.Table2()[10:] {
+			for _, rr := range rows[10:] {
 				rest += rr.Count
 				pct += rr.Percent
 			}
@@ -75,6 +94,10 @@ func (r *Run) RenderTable2() string {
 // RenderFigure3 formats the deployment-timeline histograms.
 func (r *Run) RenderFigure3() string {
 	f3, err := r.Figure3()
+	return formatFigure3(f3, err)
+}
+
+func formatFigure3(f3 TimelineStats, err error) string {
 	if err != nil {
 		return "Figure 3: " + err.Error() + "\n"
 	}
@@ -97,9 +120,10 @@ func (r *Run) RenderFigure3() string {
 
 // RenderSpear formats the spear-phishing classification summary.
 func (r *Run) RenderSpear() string {
-	sp := r.Spear()
-	dns := r.DNSVolumes()
-	syn := r.DomainSyntax()
+	return formatSpear(r.Spear(), r.DNSVolumes(), r.DomainSyntax())
+}
+
+func formatSpear(sp SpearStats, dns DNSStats, syn SyntaxStats) string {
 	var sb strings.Builder
 	sb.WriteString("Spear-phishing classification (Section V-A)\n")
 	sb.WriteString("--------------------------------------------\n")
@@ -122,13 +146,17 @@ func (r *Run) RenderSpear() string {
 
 // RenderCloaks formats the evasion-prevalence table.
 func (r *Run) RenderCloaks() string {
+	ts, rc := r.TurnstileShare()
+	return formatCloaks(r.CloakPrevalence(), ts, rc)
+}
+
+func formatCloaks(rows []CloakRow, ts, rc float64) string {
 	var sb strings.Builder
 	sb.WriteString("Evasion technique prevalence (Section V-C)\n")
 	sb.WriteString("-------------------------------------------\n")
-	for _, row := range r.CloakPrevalence() {
+	for _, row := range rows {
 		fmt.Fprintf(&sb, "%-22s %5d messages\n", row.Technique, row.Messages)
 	}
-	ts, rc := r.TurnstileShare()
 	fmt.Fprintf(&sb, "Turnstile share of credential harvesting: %.1f%%\n", ts)
 	fmt.Fprintf(&sb, "reCAPTCHA share of credential harvesting: %.1f%%\n", rc)
 	return sb.String()
@@ -136,10 +164,14 @@ func (r *Run) RenderCloaks() string {
 
 // RenderNonTargeted formats the Section V-B brand breakdown.
 func (r *Run) RenderNonTargeted() string {
+	return formatNonTargeted(r.NonTargetedBrands())
+}
+
+func formatNonTargeted(rows []BrandRow) string {
 	var sb strings.Builder
 	sb.WriteString("Non-targeted impersonated brands (Section V-B, by page title)\n")
 	sb.WriteString("--------------------------------------------------------------\n")
-	for _, row := range r.NonTargetedBrands() {
+	for _, row := range rows {
 		fmt.Fprintf(&sb, "%-18s %4d domains\n", row.Brand, row.Domains)
 	}
 	return sb.String()

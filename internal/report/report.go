@@ -5,6 +5,12 @@
 // with medians and kurtosis, the passive-DNS volume medians, the
 // domain-syntax census, the spear-phishing and hot-loading shares, and the
 // cloaking-prevalence table.
+//
+// Every aggregate is served from a memoized census index built in a single
+// pass over the analyses (see census); repeated aggregate calls — the
+// paper's workload, where each table and figure re-queries the same
+// analyzed corpus — cost a copy of the precomputed rows instead of a full
+// corpus re-scan.
 package report
 
 import (
@@ -12,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"crawlerbox/internal/browser"
@@ -20,6 +27,7 @@ import (
 	"crawlerbox/internal/htmlx"
 	"crawlerbox/internal/stats"
 	"crawlerbox/internal/urlx"
+	"crawlerbox/internal/webnet"
 	"crawlerbox/internal/whois"
 )
 
@@ -29,6 +37,12 @@ type Run struct {
 	Analyses []*crawlerbox.MessageAnalysis
 	// Errors counts messages whose analysis failed outright.
 	Errors int
+
+	// censusOnce guards the lazily built census index. The index is
+	// immutable once built, so any number of goroutines may call the
+	// aggregate methods concurrently.
+	censusOnce sync.Once
+	census     *census
 }
 
 // Analyze runs the pipeline over every corpus message serially. It is
@@ -76,6 +90,142 @@ func AnalyzeParallel(ctx context.Context, c *dataset.Corpus, workers int) (*Run,
 	return run, nil
 }
 
+// census is the memoized index behind every Run aggregate. It is computed
+// lazily exactly once (Run.index), in one pass over Run.Analyses plus one
+// pass over the corpus message list, and never mutated afterwards; methods
+// that return slices hand out copies so callers can't corrupt it.
+type census struct {
+	disposition []DispositionRow
+	monthly     [10]int
+	table2      []urlx.TLDCount
+	figure3     TimelineStats
+	figure3Err  error
+	spear       SpearStats
+	dns         DNSStats
+	syntax      SyntaxStats
+	cloaks      []CloakRow
+	brands      []BrandRow
+	// turnstilePct / recaptchaPct are the challenge-service shares over
+	// credential-harvesting messages.
+	turnstilePct, recaptchaPct float64
+}
+
+// index returns the census, building it on first use.
+func (r *Run) index() *census {
+	r.censusOnce.Do(func() { r.census = r.buildCensus() })
+	return r.census
+}
+
+// buildCensus scans the analyses once, grouping and counting everything the
+// aggregate methods need, then derives each aggregate from those groups.
+// The derivations mirror the original per-call implementations exactly
+// (asserted byte-for-byte by the equivalence tests in report_equiv_test.go).
+func (r *Run) buildCensus() *census {
+	c := &census{}
+
+	// --- single pass over the analyses -------------------------------
+	outcomeCounts := map[string]int{}
+	total := 0
+	// Landing hosts in first-seen order, duplicates included (deduped
+	// below); preallocated to the analysis count so the gather never grows.
+	hosts := make([]string, 0, len(r.Analyses))
+	groups := map[string][]*crawlerbox.MessageAnalysis{}
+	landingURLs := map[string]bool{}
+	var active, spearN, hotLoad int
+	cloakCounts := map[string]int{}
+	synSeen := map[string]bool{}
+	synHosts := make([]string, 0, len(r.Analyses))
+	brandSeen := map[string]bool{}
+	brandCounts := map[string]int{}
+	var cred, turnstile, recaptcha int
+
+	for _, ma := range r.Analyses {
+		if ma == nil {
+			continue
+		}
+		// Disposition: merge cloaked-benign into the error/inaccessible
+		// row the way the paper's accounting does.
+		total++
+		label := ma.Outcome.String()
+		if ma.Outcome == crawlerbox.OutcomeCloaked {
+			label = crawlerbox.OutcomeError.String()
+		}
+		outcomeCounts[label]++
+
+		// Evasion census (all messages, not just active phish).
+		countCloaks(cloakCounts, ma)
+
+		if ma.Landing != nil {
+			hosts = append(hosts, ma.Landing.Host)
+			if !synSeen[ma.Landing.Host] {
+				synSeen[ma.Landing.Host] = true
+				synHosts = append(synHosts, ma.Landing.Host)
+			}
+		}
+
+		if ma.Outcome != crawlerbox.OutcomeActivePhish {
+			continue
+		}
+		// Spear-phishing shares (Section V-A).
+		active++
+		if ma.SpearPhish {
+			spearN++
+			if ma.HotLoadsRef || hotLoads(ma) {
+				hotLoad++
+			}
+		}
+		cred++
+		if ma.Cloaks.Turnstile {
+			turnstile++
+		}
+		if ma.Cloaks.ReCaptcha {
+			recaptcha++
+		}
+		if ma.Landing == nil {
+			continue
+		}
+		landingURLs[ma.Landing.URL] = true
+		// Landing-domain groups (active phish only), message order
+		// preserved within each group.
+		groups[ma.Landing.Registrable] = append(groups[ma.Landing.Registrable], ma)
+		// Non-targeted brand classification: first non-spear analysis
+		// seen per registrable domain supplies the page title.
+		if !ma.SpearPhish && !brandSeen[ma.Landing.Registrable] {
+			brandSeen[ma.Landing.Registrable] = true
+			brandCounts[brandOfTitle(landingTitle(ma))]++
+		}
+	}
+
+	// Deterministic iteration order over the landing-domain groups.
+	groupKeys := make([]string, 0, len(groups))
+	for k := range groups {
+		groupKeys = append(groupKeys, k)
+	}
+	sort.Strings(groupKeys)
+
+	// --- derived aggregates ------------------------------------------
+	c.disposition = dispositionRows(outcomeCounts, total)
+	if r.Corpus != nil {
+		for _, m := range r.Corpus.Messages {
+			if m.Month >= 0 && m.Month < 10 {
+				c.monthly[m.Month]++
+			}
+		}
+	}
+	c.table2 = urlx.TLDDistribution(dedupe(hosts))
+	c.figure3, c.figure3Err = timelineStats(groups, groupKeys)
+	c.spear = spearStats(active, spearN, hotLoad, len(landingURLs), groups, groupKeys)
+	c.dns = dnsStats(groups, groupKeys)
+	c.syntax = syntaxStats(synHosts)
+	c.cloaks = cloakRows(cloakCounts)
+	c.brands = brandRows(brandCounts)
+	if cred > 0 {
+		c.turnstilePct = 100 * float64(turnstile) / float64(cred)
+		c.recaptchaPct = 100 * float64(recaptcha) / float64(cred)
+	}
+	return c
+}
+
 // DispositionRow is one row of the Section V breakdown.
 type DispositionRow struct {
 	Label   string
@@ -83,22 +233,8 @@ type DispositionRow struct {
 	Percent float64
 }
 
-// Disposition aggregates outcomes, merging cloaked-benign into the error/
-// inaccessible row the way the paper's accounting does.
-func (r *Run) Disposition() []DispositionRow {
-	counts := map[string]int{}
-	total := 0
-	for _, ma := range r.Analyses {
-		if ma == nil {
-			continue
-		}
-		total++
-		label := ma.Outcome.String()
-		if ma.Outcome == crawlerbox.OutcomeCloaked {
-			label = crawlerbox.OutcomeError.String()
-		}
-		counts[label]++
-	}
+// dispositionRows assembles the fixed-order disposition table.
+func dispositionRows(counts map[string]int, total int) []DispositionRow {
 	order := []string{
 		crawlerbox.OutcomeNoResource.String(),
 		crawlerbox.OutcomeError.String(),
@@ -117,15 +253,15 @@ func (r *Run) Disposition() []DispositionRow {
 	return out
 }
 
+// Disposition aggregates outcomes, merging cloaked-benign into the error/
+// inaccessible row the way the paper's accounting does.
+func (r *Run) Disposition() []DispositionRow {
+	return append([]DispositionRow(nil), r.index().disposition...)
+}
+
 // MonthlySeries returns Figure 2's per-month scanned-message counts.
 func (r *Run) MonthlySeries() [10]int {
-	var out [10]int
-	for _, m := range r.Corpus.Messages {
-		if m.Month >= 0 && m.Month < 10 {
-			out[m.Month]++
-		}
-	}
-	return out
+	return r.index().monthly
 }
 
 // Figure2Stats carries the volume statistics the paper reports with Fig 2.
@@ -173,29 +309,9 @@ func (r *Run) Figure2() (Figure2Stats, error) {
 	}, nil
 }
 
-// landingDomains groups active-phish analyses by registrable landing domain.
-func (r *Run) landingDomains() map[string][]*crawlerbox.MessageAnalysis {
-	out := map[string][]*crawlerbox.MessageAnalysis{}
-	for _, ma := range r.Analyses {
-		if ma == nil || ma.Outcome != crawlerbox.OutcomeActivePhish || ma.Landing == nil {
-			continue
-		}
-		out[ma.Landing.Registrable] = append(out[ma.Landing.Registrable], ma)
-	}
-	return out
-}
-
 // Table2 returns the TLD distribution over the crawled landing domains.
 func (r *Run) Table2() []urlx.TLDCount {
-	var hosts []string
-	for _, ma := range r.Analyses {
-		if ma == nil || ma.Landing == nil {
-			continue
-		}
-		hosts = append(hosts, ma.Landing.Host)
-	}
-	hosts = dedupe(hosts)
-	return urlx.TLDDistribution(hosts)
+	return append([]urlx.TLDCount(nil), r.index().table2...)
 }
 
 // TimelineStats carries Figure 3's summary statistics.
@@ -208,12 +324,13 @@ type TimelineStats struct {
 	DomainCount                int
 }
 
-// Figure3 joins each landing domain's WHOIS registration and certificate
-// issuance against the mean delivery time of its messages.
-func (r *Run) Figure3() (TimelineStats, error) {
-	groups := r.landingDomains()
-	var deltaA, deltaB []float64
-	for _, analyses := range groups {
+// timelineStats joins each landing domain's WHOIS registration and
+// certificate issuance against the mean delivery time of its messages.
+func timelineStats(groups map[string][]*crawlerbox.MessageAnalysis, keys []string) (TimelineStats, error) {
+	deltaA := make([]float64, 0, len(keys))
+	deltaB := make([]float64, 0, len(keys))
+	for _, key := range keys {
+		analyses := groups[key]
 		var sumUnix int64
 		var reg, cert time.Time
 		var haveReg, haveCert bool
@@ -272,6 +389,12 @@ func (r *Run) Figure3() (TimelineStats, error) {
 	return out, nil
 }
 
+// Figure3 returns the memoized deployment-timeline statistics.
+func (r *Run) Figure3() (TimelineStats, error) {
+	c := r.index()
+	return c.figure3, c.figure3Err
+}
+
 // SpearStats carries the Section V-A classification shares.
 type SpearStats struct {
 	Active, Spear, HotLoad int
@@ -284,37 +407,24 @@ type SpearStats struct {
 	MaxMsgsPerDomain       int
 }
 
-// Spear aggregates the spear-phishing classification results.
-func (r *Run) Spear() SpearStats {
-	out := SpearStats{}
-	urls := map[string]bool{}
-	for _, ma := range r.Analyses {
-		if ma == nil || ma.Outcome != crawlerbox.OutcomeActivePhish {
-			continue
-		}
-		out.Active++
-		if ma.SpearPhish {
-			out.Spear++
-			if ma.HotLoadsRef || hotLoads(ma) {
-				out.HotLoad++
-			}
-		}
-		if ma.Landing != nil {
-			urls[ma.Landing.URL] = true
-		}
+// spearStats assembles the spear-phishing aggregate from census counters.
+func spearStats(active, spear, hotLoad, distinctURLs int,
+	groups map[string][]*crawlerbox.MessageAnalysis, keys []string) SpearStats {
+	out := SpearStats{
+		Active: active, Spear: spear, HotLoad: hotLoad,
+		DistinctDomains: len(groups),
+		DistinctURLs:    distinctURLs,
 	}
-	groups := r.landingDomains()
-	out.DistinctDomains = len(groups)
-	out.DistinctURLs = len(urls)
 	if out.Active > 0 {
 		out.SpearPercent = 100 * float64(out.Spear) / float64(out.Active)
 	}
 	if out.Spear > 0 {
 		out.HotLoadPercent = 100 * float64(out.HotLoad) / float64(out.Spear)
 	}
-	var counts []float64
+	counts := make([]float64, 0, len(keys))
 	maxC := 0
-	for _, g := range groups {
+	for _, key := range keys {
+		g := groups[key]
 		counts = append(counts, float64(len(g)))
 		if len(g) > maxC {
 			maxC = len(g)
@@ -324,6 +434,11 @@ func (r *Run) Spear() SpearStats {
 	out.MeanMsgsPerDomain = stats.Mean(counts)
 	out.MedianMsgsPerDomain, _ = stats.Median(counts)
 	return out
+}
+
+// Spear returns the memoized spear-phishing classification aggregate.
+func (r *Run) Spear() SpearStats {
+	return r.index().spear
 }
 
 // hotLoads detects hot-loaded brand assets from the recorded traffic.
@@ -342,6 +457,21 @@ func hotLoads(ma *crawlerbox.MessageAnalysis) bool {
 	return false
 }
 
+// HotLoadReferrals counts brand-asset requests that arrived carrying a
+// Referer header — the referral-trail early-warning signal of Section V-A.
+// It reads the corpus network's exchange ledger through the zero-copy
+// iterator, so the count reflects the live ledger without copying it.
+func (r *Run) HotLoadReferrals() int {
+	count := 0
+	r.Corpus.Net.EachTraffic(func(e *webnet.LoggedExchange) bool {
+		if e.Request.Path == "/assets/logo.png" && e.Request.Header("Referer") != "" {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
 // DNSStats carries the Umbrella-style medians.
 type DNSStats struct {
 	SingleMedianTotal, SingleMedianMax float64
@@ -349,14 +479,14 @@ type DNSStats struct {
 	Top3Totals                         []int
 }
 
-// DNSVolumes computes passive-DNS medians for single- vs multi-message
+// dnsStats computes passive-DNS medians for single- vs multi-message
 // landing domains, excluding compromised and abused-service hosts the way
 // the paper filters them.
-func (r *Run) DNSVolumes() DNSStats {
-	groups := r.landingDomains()
+func dnsStats(groups map[string][]*crawlerbox.MessageAnalysis, keys []string) DNSStats {
 	var st, sm, mt, mm []float64
 	var totals []int
-	for _, analyses := range groups {
+	for _, key := range keys {
+		analyses := groups[key]
 		first := analyses[0]
 		if first.Landing.Whois != nil && first.Landing.Whois.Provenance != whois.ProvenanceFresh {
 			continue
@@ -384,6 +514,13 @@ func (r *Run) DNSVolumes() DNSStats {
 	return out
 }
 
+// DNSVolumes returns the memoized passive-DNS volume aggregate.
+func (r *Run) DNSVolumes() DNSStats {
+	d := r.index().dns
+	d.Top3Totals = append([]int(nil), d.Top3Totals...)
+	return d
+}
+
 // SyntaxStats counts deceptive domain syntax among landing domains.
 type SyntaxStats struct {
 	Domains   int
@@ -392,21 +529,16 @@ type SyntaxStats struct {
 	Punycode  int
 }
 
-// DomainSyntax runs the deception analyzer over every landing host.
-func (r *Run) DomainSyntax() SyntaxStats {
+// syntaxStats runs the deception analyzer over the deduped landing hosts.
+func syntaxStats(hosts []string) SyntaxStats {
 	analyzer := urlx.NewDeceptionAnalyzer([]string{
 		"acme", "acmetraveltech", "skybooker", "farewell", "transitgo",
 		"payroute", "microsoft", "onedrive", "office", "docusign", "excel",
 	})
-	seen := map[string]bool{}
 	out := SyntaxStats{}
-	for _, ma := range r.Analyses {
-		if ma == nil || ma.Landing == nil || seen[ma.Landing.Host] {
-			continue
-		}
-		seen[ma.Landing.Host] = true
+	for _, host := range hosts {
 		out.Domains++
-		techniques := analyzer.Analyze(ma.Landing.Host)
+		techniques := analyzer.Analyze(host)
 		if len(techniques) > 0 {
 			out.Deceptive++
 		}
@@ -422,44 +554,46 @@ func (r *Run) DomainSyntax() SyntaxStats {
 	return out
 }
 
+// DomainSyntax returns the memoized deceptive-syntax aggregate.
+func (r *Run) DomainSyntax() SyntaxStats {
+	return r.index().syntax
+}
+
 // CloakRow is one row of the evasion-prevalence table.
 type CloakRow struct {
 	Technique string
 	Messages  int
 }
 
-// CloakPrevalence counts evasion techniques across active-phish messages.
-func (r *Run) CloakPrevalence() []CloakRow {
-	counts := map[string]int{}
-	for i, ma := range r.Analyses {
-		if ma == nil {
-			continue
+// countCloaks tallies one analysis's evasion techniques into counts.
+func countCloaks(counts map[string]int, ma *crawlerbox.MessageAnalysis) {
+	c := ma.Cloaks
+	add := func(name string, present bool) {
+		if present {
+			counts[name]++
 		}
-		c := ma.Cloaks
-		add := func(name string, present bool) {
-			if present {
-				counts[name]++
-			}
-		}
-		add("turnstile", c.Turnstile)
-		add("recaptcha", c.ReCaptcha)
-		add("fingerprint-gate", c.FingerprintGate)
-		add("interaction-gate", c.InteractionGate)
-		add("delayed-reveal", c.DelayedReveal)
-		add("otp-prompt", c.OTPPrompt)
-		add("math-challenge", c.MathChallenge)
-		add("console-hijack", c.ConsoleHijack)
-		add("debugger-timer", c.DebuggerTimer)
-		add("hue-rotate", c.HueRotate)
-		add("victim-check", c.VictimCheck)
-		add("fingerprint-library", c.FingerprintLib)
-		add("exfil-httpbin", c.ExfilHTTPBin)
-		add("exfil-ipapi", c.ExfilIPAPI)
-		add("tokenized-url", c.TokenizedURL)
-		add("noise-padding", ma.Parse.NoisePadded)
-		add("faulty-qr", ma.Parse.FaultyQR)
-		_ = i
 	}
+	add("turnstile", c.Turnstile)
+	add("recaptcha", c.ReCaptcha)
+	add("fingerprint-gate", c.FingerprintGate)
+	add("interaction-gate", c.InteractionGate)
+	add("delayed-reveal", c.DelayedReveal)
+	add("otp-prompt", c.OTPPrompt)
+	add("math-challenge", c.MathChallenge)
+	add("console-hijack", c.ConsoleHijack)
+	add("debugger-timer", c.DebuggerTimer)
+	add("hue-rotate", c.HueRotate)
+	add("victim-check", c.VictimCheck)
+	add("fingerprint-library", c.FingerprintLib)
+	add("exfil-httpbin", c.ExfilHTTPBin)
+	add("exfil-ipapi", c.ExfilIPAPI)
+	add("tokenized-url", c.TokenizedURL)
+	add("noise-padding", ma.Parse.NoisePadded)
+	add("faulty-qr", ma.Parse.FaultyQR)
+}
+
+// cloakRows orders the evasion census by count (desc), then name.
+func cloakRows(counts map[string]int) []CloakRow {
 	names := make([]string, 0, len(counts))
 	for n := range counts {
 		names = append(names, n)
@@ -477,37 +611,34 @@ func (r *Run) CloakPrevalence() []CloakRow {
 	return out
 }
 
+// CloakPrevalence counts evasion techniques across active-phish messages.
+func (r *Run) CloakPrevalence() []CloakRow {
+	return append([]CloakRow(nil), r.index().cloaks...)
+}
+
 // BrandRow is one row of the non-targeted impersonation breakdown.
 type BrandRow struct {
 	Brand   string
 	Domains int
 }
 
-// NonTargetedBrands classifies the non-spear active-phish landing pages by
-// the brand named in their page titles — the crawl-derived version of the
-// paper's Section V-B manual review (Microsoft 44, Excel 20, OneDrive 12,
-// Office 365 11, DocuSign 1, others 42).
-func (r *Run) NonTargetedBrands() []BrandRow {
-	known := []string{"MICROSOFT EXCEL", "ONEDRIVE", "OFFICE 365", "DOCUSIGN", "MICROSOFT"}
-	counts := map[string]int{}
-	seen := map[string]bool{}
-	for _, ma := range r.Analyses {
-		if ma == nil || ma.Outcome != crawlerbox.OutcomeActivePhish ||
-			ma.SpearPhish || ma.Landing == nil || seen[ma.Landing.Registrable] {
-			continue
+// knownBrands are the page-title markers of the Section V-B review, checked
+// in order (most specific first).
+var knownBrands = []string{"MICROSOFT EXCEL", "ONEDRIVE", "OFFICE 365", "DOCUSIGN", "MICROSOFT"}
+
+// brandOfTitle maps an upper-cased page title to its brand bucket.
+func brandOfTitle(title string) string {
+	for _, k := range knownBrands {
+		if strings.Contains(title, k) {
+			return k
 		}
-		seen[ma.Landing.Registrable] = true
-		title := landingTitle(ma)
-		brand := "OTHER"
-		for _, k := range known {
-			if strings.Contains(title, k) {
-				brand = k
-				break
-			}
-		}
-		counts[brand]++
 	}
-	var out []BrandRow
+	return "OTHER"
+}
+
+// brandRows orders the brand census by domain count (desc), then name.
+func brandRows(counts map[string]int) []BrandRow {
+	out := make([]BrandRow, 0, len(counts))
 	for b, c := range counts {
 		out = append(out, BrandRow{Brand: b, Domains: c})
 	}
@@ -518,6 +649,14 @@ func (r *Run) NonTargetedBrands() []BrandRow {
 		return out[i].Brand < out[j].Brand
 	})
 	return out
+}
+
+// NonTargetedBrands classifies the non-spear active-phish landing pages by
+// the brand named in their page titles — the crawl-derived version of the
+// paper's Section V-B manual review (Microsoft 44, Excel 20, OneDrive 12,
+// Office 365 11, DocuSign 1, others 42).
+func (r *Run) NonTargetedBrands() []BrandRow {
+	return append([]BrandRow(nil), r.index().brands...)
 }
 
 // landingTitle returns the upper-cased <title> of the phishing visit.
@@ -536,23 +675,8 @@ func landingTitle(ma *crawlerbox.MessageAnalysis) string {
 // TurnstileShare returns the Turnstile and reCAPTCHA shares over the
 // credential-harvesting messages (the paper's 74.4% / 24.8%).
 func (r *Run) TurnstileShare() (turnstilePct, recaptchaPct float64) {
-	var cred, ts, rc int
-	for _, ma := range r.Analyses {
-		if ma == nil || ma.Outcome != crawlerbox.OutcomeActivePhish {
-			continue
-		}
-		cred++
-		if ma.Cloaks.Turnstile {
-			ts++
-		}
-		if ma.Cloaks.ReCaptcha {
-			rc++
-		}
-	}
-	if cred == 0 {
-		return 0, 0
-	}
-	return 100 * float64(ts) / float64(cred), 100 * float64(rc) / float64(cred)
+	c := r.index()
+	return c.turnstilePct, c.recaptchaPct
 }
 
 // htmlxFind extracts title texts from a visit result.
@@ -566,14 +690,17 @@ func htmlxFind(res *browser.Result) []string {
 	return out
 }
 
+// dedupe returns xs without duplicates, preserving first-seen order, in a
+// single pass with exactly one map and one slice allocation.
 func dedupe(xs []string) []string {
-	seen := map[string]bool{}
-	var out []string
+	seen := make(map[string]struct{}, len(xs))
+	out := make([]string, 0, len(xs))
 	for _, x := range xs {
-		if !seen[x] {
-			seen[x] = true
-			out = append(out, x)
+		if _, dup := seen[x]; dup {
+			continue
 		}
+		seen[x] = struct{}{}
+		out = append(out, x)
 	}
 	return out
 }

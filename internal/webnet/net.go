@@ -143,8 +143,14 @@ type Internet struct {
 	nextSerial int
 	// RequestLatency is the virtual time cost of one HTTP round trip.
 	RequestLatency time.Duration
-	// trafficLog records every request for referral analysis.
+	// trafficLog records every request for referral analysis. It is
+	// append-only: entries are never mutated once logged, which is what
+	// makes the zero-copy EachTraffic/EachTrafficTo views safe.
 	trafficLog []LoggedExchange
+	// trafficByHost indexes trafficLog positions by request host, so
+	// per-host traffic queries touch only the matching entries instead of
+	// scanning (or copying) the whole ledger.
+	trafficByHost map[string][]int
 }
 
 // LoggedExchange pairs a request with its response for traffic analysis.
@@ -478,9 +484,14 @@ func (n *Internet) logExchange(req *Request, status int, at time.Time) {
 	n.trafficLog = append(n.trafficLog, LoggedExchange{
 		Request: *req, Status: status, At: at,
 	})
+	if n.trafficByHost == nil {
+		n.trafficByHost = map[string][]int{}
+	}
+	n.trafficByHost[req.Host] = append(n.trafficByHost[req.Host], len(n.trafficLog)-1)
 }
 
-// Traffic returns a copy of the exchange log.
+// Traffic returns a copy of the exchange log. Aggregation paths that only
+// read the ledger should prefer EachTraffic, which avoids the copy.
 func (n *Internet) Traffic() []LoggedExchange {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -489,14 +500,64 @@ func (n *Internet) Traffic() []LoggedExchange {
 	return out
 }
 
-// TrafficTo returns exchanges addressed to a host.
+// TrafficLen returns the number of logged exchanges.
+func (n *Internet) TrafficLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.trafficLog)
+}
+
+// EachTraffic calls fn for every logged exchange in log order, without
+// copying the ledger, until fn returns false. The entry pointer is valid
+// only for the duration of the call and must not be retained or mutated.
+//
+// The iteration is a consistent zero-copy snapshot: the ledger is
+// append-only and entries are immutable once logged, so only the slice
+// header is read under the lock — concurrent appends go to positions past
+// the snapshot's length and are never observed. fn may safely call back
+// into the Internet (no lock is held during iteration).
+func (n *Internet) EachTraffic(fn func(e *LoggedExchange) bool) {
+	n.mu.Lock()
+	log := n.trafficLog
+	n.mu.Unlock()
+	for i := range log {
+		if !fn(&log[i]) {
+			return
+		}
+	}
+}
+
+// EachTrafficTo calls fn for every logged exchange addressed to host, in
+// log order, until fn returns false. It walks the by-host index, so the
+// cost scales with the host's own traffic, not the whole ledger. The same
+// zero-copy snapshot semantics as EachTraffic apply.
+func (n *Internet) EachTrafficTo(host string, fn func(e *LoggedExchange) bool) {
+	host = strings.ToLower(host)
+	n.mu.Lock()
+	log := n.trafficLog
+	idx := n.trafficByHost[host]
+	n.mu.Unlock()
+	for _, i := range idx {
+		if !fn(&log[i]) {
+			return
+		}
+	}
+}
+
+// TrafficTo returns a copy of the exchanges addressed to a host. Built on
+// the by-host index, so it never scans unrelated traffic.
 func (n *Internet) TrafficTo(host string) []LoggedExchange {
 	host = strings.ToLower(host)
-	var out []LoggedExchange
-	for _, e := range n.Traffic() {
-		if e.Request.Host == host {
-			out = append(out, e)
-		}
+	n.mu.Lock()
+	log := n.trafficLog
+	idx := n.trafficByHost[host]
+	n.mu.Unlock()
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]LoggedExchange, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, log[i])
 	}
 	return out
 }
