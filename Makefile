@@ -6,19 +6,25 @@ BENCHTIME ?= 0.2s
 BENCHCOUNT ?= 5
 PR ?= 2
 
-.PHONY: check build vet test race bench benchquick
+.PHONY: check build vet lint test race bench benchquick
 
 # check is the repository's quality gate (DESIGN.md §7): compile, vet, the
-# full test suite (plain and under the race detector — the race run includes
-# the workers-1-vs-8 determinism tests and the concurrent-census test), and
-# one pass of the pipeline-throughput benchmarks (serial + worker pool).
-check: build vet test race benchquick
+# cblint invariant linter (DESIGN.md §9), the full test suite (plain and
+# under the race detector — the race run includes the workers-1-vs-8
+# determinism tests and the concurrent-census test), and one pass of the
+# pipeline-throughput benchmarks (serial + worker pool).
+check: build vet lint test race benchquick
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs cblint, the stdlib-only invariant linter (determinism, maprange,
+# ctxflow, guarded — see `go run ./cmd/cblint -list` and DESIGN.md §9).
+lint:
+	$(GO) run ./cmd/cblint ./...
 
 test:
 	$(GO) test ./...

@@ -48,7 +48,7 @@ func benchRun(b *testing.B) *report.Run {
 func BenchmarkTable1CrawlerAssessment(b *testing.B) {
 	var last *crawler.Assessment
 	for i := 0; i < b.N; i++ {
-		a, err := crawler.RunAssessment()
+		a, err := crawler.RunAssessment(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -175,7 +175,7 @@ func BenchmarkChallengeServiceShare(b *testing.B) {
 // (Figure 1's pipeline): parse + crawl + classify + enrich per message.
 func BenchmarkPipelineThroughput(b *testing.B) {
 	world := NewWorld(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC))
-	pipe, err := world.NewPipeline()
+	pipe, err := world.NewPipeline(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func BenchmarkPipelineThroughputParallel(b *testing.B) {
 	}
 	pipe := crawlerbox.New(c.Net, c.Registry)
 	for _, br := range phishkit.StudyBrands {
-		if err := pipe.AddReference(br.Name, c.BrandURLs[br.Name]); err != nil {
+		if err := pipe.AddReference(context.Background(), br.Name, c.BrandURLs[br.Name]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -302,7 +302,7 @@ func BenchmarkAblationCrawlerChoice(b *testing.B) {
 	for _, kind := range []crawler.Kind{crawler.PuppeteerStealth, crawler.NotABot} {
 		b.Run(kind.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cell, err := crawler.RunAssessmentCell(kind, crawler.DetectorTurnstile, int64(i))
+				cell, err := crawler.RunAssessmentCell(context.Background(), kind, crawler.DetectorTurnstile, int64(i))
 				if err != nil {
 					b.Fatal(err)
 				}

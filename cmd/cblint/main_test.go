@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fixture(name string) string {
+	return filepath.FromSlash("../../internal/lint/testdata/src/" + name)
+}
+
+// TestJSONGolden pins the machine-readable output byte for byte: analyzer,
+// relative file path, position, and message for each finding, sorted.
+func TestJSONGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", fixture("jsonfix")}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings present); stderr: %s", code, errb.String())
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(golden) {
+		t.Errorf("-json output differs from testdata/golden.json:\n got: %s\nwant: %s", out.String(), golden)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{fixture("cleanfix")}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stdout: %s", code, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean package produced output: %s", out.String())
+	}
+}
+
+func TestCleanPackageJSONIsEmptyArray(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", fixture("cleanfix")}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("-json on a clean package = %q, want []", got)
+	}
+}
+
+func TestTextOutputFindings(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{fixture("jsonfix")}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	for _, want := range []string{
+		"jsonfix.go:10:9: [determinism]",
+		"jsonfix.go:10:21: [determinism]",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errb.String(), "1 packages, 2 findings") {
+		t.Errorf("summary line missing from stderr: %s", errb.String())
+	}
+}
+
+func TestListPrintsRegistry(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-list"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "maprange", "ctxflow", "guarded"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownDirExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{filepath.FromSlash("testdata/no-such-dir")}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (driver error)", code)
+	}
+}

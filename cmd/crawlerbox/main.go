@@ -47,7 +47,7 @@ func run() error {
 	}
 	pipe := crawlerbox.New(corpus.Net, corpus.Registry)
 	for _, b := range phishkit.StudyBrands {
-		if err := pipe.AddReference(b.Name, corpus.BrandURLs[b.Name]); err != nil {
+		if err := pipe.AddReference(context.Background(), b.Name, corpus.BrandURLs[b.Name]); err != nil {
 			return err
 		}
 	}

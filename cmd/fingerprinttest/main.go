@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +22,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print detection reasons per cell")
 	flag.Parse()
 
-	a, err := crawler.RunAssessment()
+	a, err := crawler.RunAssessment(context.Background())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fingerprinttest:", err)
 		os.Exit(1)

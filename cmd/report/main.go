@@ -39,7 +39,7 @@ func run() error {
 
 	if *only == "table1" || *only == "" {
 		fmt.Println("Running Table I crawler assessment...")
-		a, err := crawler.RunAssessment()
+		a, err := crawler.RunAssessment(context.Background())
 		if err != nil {
 			return err
 		}

@@ -66,11 +66,12 @@ func NewWorld(start time.Time) *World {
 }
 
 // NewPipeline returns a CrawlerBox pipeline for the world, with references
-// to every protected brand's login page already registered.
-func (w *World) NewPipeline() (*crawlerbox.Pipeline, error) {
+// to every protected brand's login page already registered. The context
+// bounds the reference crawls.
+func (w *World) NewPipeline(ctx context.Context) (*crawlerbox.Pipeline, error) {
 	pipe := crawlerbox.New(w.Net, w.Registry)
 	for _, b := range phishkit.StudyBrands {
-		if err := pipe.AddReference(b.Name, w.BrandLoginURLs[b.Name]); err != nil {
+		if err := pipe.AddReference(ctx, b.Name, w.BrandLoginURLs[b.Name]); err != nil {
 			return nil, fmt.Errorf("crawlerbox: registering reference %s: %w", b.Name, err)
 		}
 	}
@@ -102,6 +103,6 @@ func AnalyzeCorpusParallel(ctx context.Context, c *dataset.Corpus, workers int) 
 }
 
 // RunTable1 reproduces the Table I crawler-vs-detector assessment.
-func RunTable1() (*crawler.Assessment, error) {
-	return crawler.RunAssessment()
+func RunTable1(ctx context.Context) (*crawler.Assessment, error) {
+	return crawler.RunAssessment(ctx)
 }

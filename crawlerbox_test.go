@@ -1,6 +1,7 @@
 package crawlerboxgo
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -30,7 +31,7 @@ func TestWorldConstruction(t *testing.T) {
 
 func TestFacadeEndToEnd(t *testing.T) {
 	w := NewWorld(_start)
-	pipe, err := w.NewPipeline()
+	pipe, err := w.NewPipeline(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestGenerateAndAnalyzeCorpusTiny(t *testing.T) {
 }
 
 func TestRunTable1Facade(t *testing.T) {
-	a, err := RunTable1()
+	a, err := RunTable1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestRunTable1Facade(t *testing.T) {
 // Selenium-Driverless as alternative components is its stated future work).
 func TestModularCrawlerComponent(t *testing.T) {
 	w := NewWorld(_start)
-	pipe, err := w.NewPipeline()
+	pipe, err := w.NewPipeline(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestModularCrawlerComponent(t *testing.T) {
 
 	// A weak component (Puppeteer+stealth, headless) on the same site gets
 	// stuck at the challenge — the ablation the Table I matrix motivates.
-	pipe2, err := w.NewPipeline()
+	pipe2, err := w.NewPipeline(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -53,7 +54,7 @@ func run() error {
 
 	// 2. Puppeteer + stealth plugin (headless).
 	stealth := crawler.NewHeadless(crawler.PuppeteerStealth, net, webnet.IPMobile, 1, true)
-	res, err := stealth.Visit(site.LandingURL)
+	res, err := stealth.Visit(context.Background(), site.LandingURL)
 	if err != nil {
 		return err
 	}
@@ -62,7 +63,7 @@ func run() error {
 
 	// 3. NotABot.
 	notabot := crawler.New(crawler.NotABot, net, webnet.IPMobile, 2)
-	res, err = notabot.Visit(site.LandingURL)
+	res, err = notabot.Visit(context.Background(), site.LandingURL)
 	if err != nil {
 		return err
 	}

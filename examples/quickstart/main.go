@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -51,7 +52,7 @@ func run() error {
 		Build()
 
 	// Analyze it.
-	pipe, err := world.NewPipeline()
+	pipe, err := world.NewPipeline(context.Background())
 	if err != nil {
 		return err
 	}

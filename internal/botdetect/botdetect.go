@@ -35,7 +35,7 @@ type Verdict struct {
 // verdictLog stores per-client verdicts.
 type verdictLog struct {
 	mu       sync.Mutex
-	verdicts map[string]Verdict // clientIP -> latest verdict
+	verdicts map[string]Verdict // clientIP -> latest verdict; guarded by mu
 }
 
 func newVerdictLog() *verdictLog {

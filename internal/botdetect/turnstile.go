@@ -19,8 +19,8 @@ type Turnstile struct {
 	host      string
 	log       *verdictLog
 	mu        sync.Mutex
-	tokens    map[string]bool
-	nextToken int
+	tokens    map[string]bool // guarded by mu
+	nextToken int             // guarded by mu
 }
 
 // NewTurnstile installs the service on the network.

@@ -54,8 +54,9 @@ func New(net *webnet.Internet, profile Profile, clientIP string, seed int64) *Br
 		MaxRedirects:    10,
 		ScriptFuel:      400_000,
 		EventLoopWindow: 30 * time.Second,
-		MaxTimerFires:   60,
-		rng:             rand.New(rand.NewSource(seed)),
+		MaxTimerFires: 60,
+		//cblint:ignore determinism generator is seeded from the caller-supplied seed
+		rng: rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -114,6 +115,7 @@ func (pg *page) host() string { return pg.url.Hostname() }
 // context returns the visit's context (Background for zero-value pages).
 func (pg *page) context() context.Context {
 	if pg.ctx == nil {
+		//cblint:ignore ctxflow zero-value pages have no caller context to fall back to
 		return context.Background()
 	}
 	return pg.ctx

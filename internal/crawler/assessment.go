@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -59,7 +60,7 @@ func (a *Assessment) PassesAll(k Kind) bool {
 // fleet visits a BotD-instrumented page, a Turnstile-gated site, and an
 // AnonWAF-protected origin, all from the same mobile egress class (the
 // paper's 4G modem), and each service's logs supply the verdicts.
-func RunAssessment() (*Assessment, error) {
+func RunAssessment(ctx context.Context) (*Assessment, error) {
 	out := &Assessment{Cells: map[Kind]map[DetectorName]CellResult{}}
 	seed := int64(1)
 	for _, kind := range AllKinds {
@@ -67,14 +68,14 @@ func RunAssessment() (*Assessment, error) {
 		for _, det := range AllDetectors {
 			// Fresh world per cell: verdict logs and cookie jars must not
 			// leak between runs.
-			cell, err := runCell(kind, det, seed, defaultHeadless(kind))
+			cell, err := runCell(ctx, kind, det, seed, defaultHeadless(kind))
 			if err != nil {
 				return nil, fmt.Errorf("assessing %s vs %s: %w", kind, det, err)
 			}
 			// The BotD footnote: the paper marks undetected_chromedriver
 			// as passing only in non-headless mode; probe that variant.
 			if det == DetectorBotD && cell.Passed && kind == UndetectedChromedriver {
-				headlessCell, err := runCell(kind, det, seed+1000, true)
+				headlessCell, err := runCell(ctx, kind, det, seed+1000, true)
 				if err != nil {
 					return nil, fmt.Errorf("assessing %s vs %s (headless): %w", kind, det, err)
 				}
@@ -89,12 +90,12 @@ func RunAssessment() (*Assessment, error) {
 
 // RunAssessmentCell runs a single crawler against a single detector in a
 // fresh isolated world — the unit the ablation benchmarks time.
-func RunAssessmentCell(kind Kind, det DetectorName, seed int64) (CellResult, error) {
-	return runCell(kind, det, seed, defaultHeadless(kind))
+func RunAssessmentCell(ctx context.Context, kind Kind, det DetectorName, seed int64) (CellResult, error) {
+	return runCell(ctx, kind, det, seed, defaultHeadless(kind))
 }
 
 // runCell runs one crawler against one detector in an isolated world.
-func runCell(kind Kind, det DetectorName, seed int64, headless bool) (CellResult, error) {
+func runCell(ctx context.Context, kind Kind, det DetectorName, seed int64, headless bool) (CellResult, error) {
 	net := webnet.NewInternet(webnet.NewClock(time.Date(2024, 1, 15, 9, 0, 0, 0, time.UTC)))
 	c := NewHeadless(kind, net, webnet.IPMobile, seed, headless)
 	cell := CellResult{Crawler: kind, Detector: det}
@@ -103,7 +104,7 @@ func runCell(kind Kind, det DetectorName, seed int64, headless bool) (CellResult
 		botd := botdetect.NewBotD(net, "botd.test")
 		serveStatic(net, "botd-page.test",
 			`<html><body><script src="https://botd.test/botd.js"></script></body></html>`)
-		_, _ = c.Visit("https://botd-page.test/")
+		_, _ = c.Visit(ctx, "https://botd-page.test/")
 		v := botd.VerdictFor(c.Browser.ClientIP)
 		cell.Passed = !v.Bot
 		cell.Reasons = v.Reasons
@@ -117,7 +118,7 @@ func runCell(kind Kind, det DetectorName, seed int64, headless bool) (CellResult
 			}
 			return &webnet.Response{Status: 200, Body: []byte(ts.GateHTML("/content", "tok"))}
 		})
-		_, _ = c.Visit("https://gated.test/")
+		_, _ = c.Visit(ctx, "https://gated.test/")
 		v := ts.VerdictFor(c.Browser.ClientIP)
 		cell.Passed = !v.Bot
 		cell.Reasons = v.Reasons
@@ -128,7 +129,7 @@ func runCell(kind Kind, det DetectorName, seed int64, headless bool) (CellResult
 		net.Serve("waf-origin.test", waf.Wrap(func(*webnet.Request) *webnet.Response {
 			return &webnet.Response{Status: 200, Body: []byte("<html><body>origin</body></html>")}
 		}))
-		_, _ = c.Visit("https://waf-origin.test/")
+		_, _ = c.Visit(ctx, "https://waf-origin.test/")
 		v := waf.VerdictFor(c.Browser.ClientIP)
 		cell.Passed = !v.Bot
 		cell.Reasons = v.Reasons

@@ -166,7 +166,7 @@ func defaultHeadless(kind Kind) bool {
 	}
 }
 
-// Visit crawls a URL.
-func (c *Crawler) Visit(url string) (*browser.Result, error) {
-	return c.Browser.Visit(context.Background(), url)
+// Visit crawls a URL under the caller's context.
+func (c *Crawler) Visit(ctx context.Context, url string) (*browser.Result, error) {
+	return c.Browser.Visit(ctx, url)
 }

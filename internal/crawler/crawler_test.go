@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"testing"
 )
 
@@ -17,7 +18,7 @@ var _paperTable1 = map[Kind]map[DetectorName]bool{
 }
 
 func TestTable1MatrixMatchesPaper(t *testing.T) {
-	a, err := RunAssessment()
+	a, err := RunAssessment(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestTable1MatrixMatchesPaper(t *testing.T) {
 func TestTable1UndetectedChromedriverHeadlessFootnote(t *testing.T) {
 	// The Table I footnote: undetected_chromedriver passes BotD only when
 	// used in non-headless mode.
-	a, err := RunAssessment()
+	a, err := RunAssessment(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestTable1UndetectedChromedriverHeadlessFootnote(t *testing.T) {
 }
 
 func TestOnlyThreeCrawlersPassEverything(t *testing.T) {
-	a, err := RunAssessment()
+	a, err := RunAssessment(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -89,7 +89,7 @@ func corpusSummaries(t *testing.T, workers int) []analysisSummary {
 	}
 	sort.Strings(brands)
 	for _, b := range brands {
-		if err := pipe.AddReference(b, c.BrandURLs[b]); err != nil {
+		if err := pipe.AddReference(context.Background(), b, c.BrandURLs[b]); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -3,6 +3,7 @@ package crawlerbox
 import (
 	"archive/zip"
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -34,7 +35,7 @@ func newEnv(t *testing.T) *testEnv {
 	pipe := New(net, registry)
 	for _, b := range phishkit.StudyBrands {
 		url := phishkit.DeployBrandSite(net, b)
-		if err := pipe.AddReference(b.Name, url); err != nil {
+		if err := pipe.AddReference(context.Background(), b.Name, url); err != nil {
 			t.Fatalf("AddReference(%s): %v", b.Name, err)
 		}
 	}

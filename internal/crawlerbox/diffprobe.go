@@ -30,6 +30,7 @@ type DifferentialProbe struct {
 // automation profile and compares what each was served. For probing inside
 // a corpus analysis, insert DiffProbeStage into Pipeline.Stages instead.
 func (p *Pipeline) RunDifferentialProbe(url string) (*DifferentialProbe, error) {
+	//cblint:ignore ctxflow RunDifferentialProbe is the documented no-cancellation wrapper around the stage-aware core
 	return p.runDifferentialProbe(context.Background(), nil, url)
 }
 

@@ -71,11 +71,11 @@ func (p *Pipeline) ocrMinScore() float64 {
 	return 0.9
 }
 
-// AddReference registers a protected login page by visiting it and signing
-// its screenshot.
-func (p *Pipeline) AddReference(brand, loginURL string) error {
+// AddReference registers a protected login page by visiting it under the
+// caller's context and signing its screenshot.
+func (p *Pipeline) AddReference(ctx context.Context, brand, loginURL string) error {
 	br := p.newBrowser()
-	res, err := br.Visit(context.Background(), loginURL)
+	res, err := br.Visit(ctx, loginURL)
 	if err != nil {
 		return err
 	}
@@ -232,6 +232,7 @@ type MessageSpec struct {
 // drawn from the pipeline counter — the serial, order-dependent entry
 // point. Corpus runs use Analyze/AnalyzeCorpus with explicit MessageSpecs.
 func (p *Pipeline) AnalyzeMessage(raw []byte) (*MessageAnalysis, error) {
+	//cblint:ignore ctxflow AnalyzeMessage is the documented no-cancellation serial wrapper around Analyze
 	return p.Analyze(context.Background(), MessageSpec{Raw: raw, ID: p.nextSeed()})
 }
 

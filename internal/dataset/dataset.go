@@ -142,6 +142,7 @@ func Generate(cfg Config) (*Corpus, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	//cblint:ignore determinism generator is seeded from Config.Seed
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	clock := webnet.NewClock(_startTime)
 	net := webnet.NewInternet(clock)

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces context discipline. Fresh root contexts belong at the
+// program edges — cmd/ mains, examples, tests; library code threads the
+// caller's ctx so cancellation actually reaches the network layer (the
+// corpus runner's cancellation guarantee depends on it). Two rules:
+//
+//  1. background: context.Background()/context.TODO() in library code.
+//  2. ctxdrop: a function that has a ctx parameter in scope calls a callee
+//     that accepts a context but feeds it a fresh Background/TODO instead
+//     of the in-scope ctx — silently severing the cancellation chain. This
+//     rule applies everywhere, including cmd/.
+type CtxFlow struct{}
+
+// Name implements Analyzer.
+func (CtxFlow) Name() string { return "ctxflow" }
+
+// Doc implements Analyzer.
+func (CtxFlow) Doc() string {
+	return "forbid context.Background/TODO outside cmd/, examples/, and tests; flag calls that drop an in-scope ctx"
+}
+
+// Applies implements Analyzer. The background rule is scoped out of cmd/
+// and examples/ inside Check; the analyzer itself covers every package so
+// ctxdrop still fires at the edges.
+func (CtxFlow) Applies(importPath string) bool { return true }
+
+// libraryCode reports whether the background rule covers the package: true
+// everywhere except cmd/ and examples/ trees (tests never reach the
+// analyzer — the loader skips _test.go).
+func libraryCode(importPath string) bool {
+	for _, edge := range []string{"cmd", "examples"} {
+		if strings.Contains(importPath, "/"+edge+"/") ||
+			strings.HasPrefix(importPath, edge+"/") ||
+			strings.HasSuffix(importPath, "/"+edge) {
+			return false
+		}
+	}
+	return true
+}
+
+// Check implements Analyzer.
+func (c CtxFlow) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	library := libraryCode(pkg.ImportPath)
+	for _, f := range pkg.Files {
+		table := importTable(f)
+		// Pass 1: fresh root contexts in library code.
+		if library {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn, ok := rootContextCall(pkg, table, call); ok {
+					diags = append(diags, Diagnostic{
+						Analyzer: c.Name(),
+						Pos:      pkg.Fset.Position(call.Pos()),
+						Message: "context." + fn +
+							"() in library code severs cancellation; accept and thread the caller's ctx",
+					})
+				}
+				return true
+			})
+		}
+		// Pass 2: in-scope ctx dropped at a call site.
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			ctxName, ok := contextParamName(pkg, table, fd.Type)
+			if !ok {
+				return true
+			}
+			ast.Inspect(fd.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				argCall, ok := call.Args[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := rootContextCall(pkg, table, argCall)
+				if !ok {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Analyzer: c.Name(),
+					Pos:      pkg.Fset.Position(argCall.Pos()),
+					Message: "call passes context." + fn + "() while ctx " +
+						quoteName(ctxName) + " is in scope; pass the in-scope ctx",
+				})
+				return true
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// rootContextCall matches context.Background() / context.TODO().
+func rootContextCall(pkg *Package, table map[string]string, call *ast.CallExpr) (string, bool) {
+	path, fn, ok := pkgCallee(pkg, table, call)
+	if !ok || path != "context" {
+		return "", false
+	}
+	if fn == "Background" || fn == "TODO" {
+		return fn, true
+	}
+	return "", false
+}
+
+// contextParamName returns the name of the first context.Context parameter
+// of the function type, if any named one exists.
+func contextParamName(pkg *Package, table map[string]string, ft *ast.FuncType) (string, bool) {
+	if ft.Params == nil {
+		return "", false
+	}
+	for _, field := range ft.Params.List {
+		if !isContextType(pkg, table, field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// isContextType matches the context.Context selector type, by type info
+// when available and by import-table resolution otherwise.
+func isContextType(pkg *Package, table map[string]string, expr ast.Expr) bool {
+	if pkg.Info != nil {
+		if tv, ok := pkg.Info.Types[expr]; ok && tv.Type != nil {
+			if named, ok := tv.Type.(*types.Named); ok {
+				obj := named.Obj()
+				return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+			}
+		}
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && table[id.Name] == "context"
+}
+
+func quoteName(name string) string { return "\"" + name + "\"" }

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Determinism forbids wall-clock reads and global math/rand calls in
+// internal production code. The pipeline's byte-identical-at-any-worker-count
+// guarantee holds only if time flows through webnet.Clock forks and
+// randomness through explicitly seeded *rand.Rand streams; one stray
+// time.Now() in a census path silently breaks reproducibility of the paper's
+// tables. Sanctioned generator construction sites (seed injected by the
+// caller) carry a "//cblint:ignore determinism <reason>" directive.
+type Determinism struct{}
+
+// forbiddenTimeFuncs are the package-level time functions that read or wait
+// on the process wall clock. Pure constructors (time.Date, time.Unix) and
+// parsers are fine — they are wall-clock-free.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// randPackages are the global-generator packages. Every package-level call
+// is flagged — including New/NewSource, because the analyzer cannot prove a
+// seed argument is injected rather than derived from ambient state; the
+// sanctioned construction sites annotate themselves instead.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// Name implements Analyzer.
+func (Determinism) Name() string { return "determinism" }
+
+// Doc implements Analyzer.
+func (Determinism) Doc() string {
+	return "forbid time.Now/Since/Sleep and global math/rand calls in internal code; use webnet.Clock and seeded *rand.Rand"
+}
+
+// Applies implements Analyzer: internal production packages only.
+func (Determinism) Applies(importPath string) bool {
+	return strings.Contains(importPath+"/", "/internal/") ||
+		strings.HasPrefix(importPath, "internal/")
+}
+
+// Check implements Analyzer.
+func (d Determinism) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		table := importTable(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, fn, ok := pkgCallee(pkg, table, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case path == "time" && forbiddenTimeFuncs[fn]:
+				diags = append(diags, Diagnostic{
+					Analyzer: d.Name(),
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Message: fmt.Sprintf(
+						"time.%s reads the process wall clock; thread a webnet.Clock instead", fn),
+				})
+			case randPackages[path]:
+				diags = append(diags, Diagnostic{
+					Analyzer: d.Name(),
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Message: fmt.Sprintf(
+						"global rand.%s is not seed-injected; draw from an explicitly seeded *rand.Rand", fn),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Guarded checks lock discipline declared in the source itself. A struct
+// field whose doc or line comment says
+//
+//	// guarded by <mutexField>
+//
+// may only be touched through a receiver whose method has already called
+// <mutexField>.Lock() or .RLock() on the same receiver, lexically before
+// the access in the same method body. The annotation names a sibling field;
+// naming a field that does not exist is itself a finding, so annotations
+// cannot rot silently.
+//
+// The check is lexical (a Lock textually before the access), which accepts
+// the two idioms the codebase uses — `mu.Lock(); defer mu.Unlock()` and the
+// explicit Lock/Unlock window — and does not attempt path-sensitive
+// analysis. Accesses from non-method functions (constructors building the
+// struct literal) and through closures capturing the value are out of
+// scope; the annotation documents the steady-state method contract.
+type Guarded struct{}
+
+// guardAnnotation is the field-comment grammar.
+const guardAnnotation = "guarded by "
+
+// Name implements Analyzer.
+func (Guarded) Name() string { return "guarded" }
+
+// Doc implements Analyzer.
+func (Guarded) Doc() string {
+	return "a field annotated 'guarded by <mutex>' must only be accessed after locking that mutex on the same receiver"
+}
+
+// Applies implements Analyzer: anywhere an annotation appears.
+func (Guarded) Applies(importPath string) bool { return true }
+
+// guardedField records one annotated field of a struct type.
+type guardedField struct {
+	structName string
+	fieldName  string
+	guardName  string
+	pos        token.Pos
+}
+
+// Check implements Analyzer.
+func (g Guarded) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	guards := map[string]map[string]string{} // struct -> field -> guard
+	// Pass 1: collect annotations and validate the guard field exists.
+	for _, f := range pkg.Files {
+		for _, gf := range collectGuardedFields(f) {
+			st := findStruct(pkg, gf.structName)
+			if st == nil || !structHasField(st, gf.guardName) {
+				diags = append(diags, Diagnostic{
+					Analyzer: g.Name(),
+					Pos:      pkg.Fset.Position(gf.pos),
+					Message: fmt.Sprintf(
+						"field %s.%s is guarded by %q, which is not a field of %s",
+						gf.structName, gf.fieldName, gf.guardName, gf.structName),
+				})
+				continue
+			}
+			if guards[gf.structName] == nil {
+				guards[gf.structName] = map[string]string{}
+			}
+			guards[gf.structName][gf.fieldName] = gf.guardName
+		}
+	}
+	if len(guards) == 0 {
+		return diags
+	}
+	// Pass 2: every method access to a guarded field must follow a lock of
+	// the guard on the same receiver.
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recvName, typeName := receiver(fd)
+			fieldGuards := guards[typeName]
+			if recvName == "" || len(fieldGuards) == 0 {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || id.Name != recvName {
+					return true
+				}
+				guard, guarded := fieldGuards[sel.Sel.Name]
+				if !guarded {
+					return true
+				}
+				if lockedBefore(fd.Body, recvName, guard, sel.Pos()) {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Analyzer: g.Name(),
+					Pos:      pkg.Fset.Position(sel.Pos()),
+					Message: fmt.Sprintf(
+						"%s.%s is guarded by %s; lock %s.%s before accessing it in %s",
+						recvName, sel.Sel.Name, guard, recvName, guard, fd.Name.Name),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// collectGuardedFields scans a file's struct declarations for annotations.
+func collectGuardedFields(f *ast.File) []guardedField {
+	var out []guardedField
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			guard := guardNameFrom(field.Doc)
+			if guard == "" {
+				guard = guardNameFrom(field.Comment)
+			}
+			if guard == "" {
+				continue
+			}
+			for _, name := range field.Names {
+				out = append(out, guardedField{
+					structName: ts.Name.Name,
+					fieldName:  name.Name,
+					guardName:  guard,
+					pos:        name.Pos(),
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// guardNameFrom extracts the guard field name from a comment group.
+func guardNameFrom(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if idx := strings.Index(text, guardAnnotation); idx >= 0 {
+			rest := strings.Fields(text[idx+len(guardAnnotation):])
+			if len(rest) > 0 {
+				return strings.TrimSuffix(rest[0], ".")
+			}
+		}
+	}
+	return ""
+}
+
+// findStruct locates a struct type declaration by name across the package.
+func findStruct(pkg *Package, name string) *ast.StructType {
+	for _, f := range pkg.Files {
+		var found *ast.StructType
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != name {
+				return true
+			}
+			if st, ok := ts.Type.(*ast.StructType); ok {
+				found = st
+				return false
+			}
+			return true
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// structHasField reports whether the struct declares a field by that name.
+func structHasField(st *ast.StructType, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// receiver returns the receiver variable name and the receiver's base type
+// name ("" when the receiver is unnamed or anonymous).
+func receiver(fd *ast.FuncDecl) (recvName, typeName string) {
+	if len(fd.Recv.List) != 1 {
+		return "", ""
+	}
+	field := fd.Recv.List[0]
+	if len(field.Names) == 1 {
+		recvName = field.Names[0].Name
+	}
+	typeName = baseTypeName(field.Type)
+	return recvName, typeName
+}
+
+// baseTypeName strips pointers and type parameters off a receiver type.
+func baseTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return baseTypeName(t.X)
+	case *ast.IndexExpr:
+		return baseTypeName(t.X)
+	case *ast.IndexListExpr:
+		return baseTypeName(t.X)
+	default:
+		return ""
+	}
+}
+
+// lockedBefore reports whether recv.guard.Lock() or recv.guard.RLock() is
+// called lexically before pos inside the method body.
+func lockedBefore(body *ast.BlockStmt, recvName, guard string, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.End() > pos {
+			return true
+		}
+		// Match recv.guard.Lock() / recv.guard.RLock().
+		method, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (method.Sel.Name != "Lock" && method.Sel.Name != "RLock") {
+			return true
+		}
+		guardSel, ok := method.X.(*ast.SelectorExpr)
+		if !ok || guardSel.Sel.Name != guard {
+			return true
+		}
+		recv, ok := guardSel.X.(*ast.Ident)
+		if !ok || recv.Name != recvName {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, parsed, and typechecked Go package — the unit every
+// analyzer operates on. Test files are never loaded: the invariants cblint
+// enforces are production-code invariants, and excluding _test.go keeps the
+// loader free of external-test-package complications.
+type Package struct {
+	// Fset positions every node in Files.
+	Fset *token.FileSet
+	// Dir is the package's source directory.
+	Dir string
+	// ImportPath is the module-qualified import path ("crawlerbox/internal/webnet")
+	// when the directory is inside the module, the bare directory base name
+	// otherwise (fixture packages under testdata).
+	ImportPath string
+	// Files are the non-test source files, parsed with comments.
+	Files []*ast.File
+	// Types is the typechecked package object. It may be partial: type
+	// errors are tolerated so analyzers degrade gracefully instead of
+	// blocking the whole gate on an unrelated compile error.
+	Types *types.Package
+	// Info carries the expression types, uses, and definitions analyzers
+	// query. Entries exist only where typechecking succeeded.
+	Info *types.Info
+	// TypeErrors collects everything the typechecker complained about.
+	TypeErrors []error
+}
+
+// Loader parses and typechecks packages from source using nothing but the
+// standard library: go/build for build-tag-aware file selection, go/parser,
+// and go/types with a recursive source importer. It resolves imports the way
+// the go command would — module-local paths map into the module directory,
+// everything else maps into GOROOT/src (with the GOROOT vendor directory as
+// fallback for the standard library's vendored dependencies) — without
+// shelling out to the go tool or depending on go/packages.
+type Loader struct {
+	fset *token.FileSet
+	bctx build.Context
+	// modPath / modDir describe the enclosing module ("" when loading a
+	// fixture tree with no go.mod, in which case only stdlib imports resolve).
+	modPath string
+	modDir  string
+	// deps caches typechecked dependency packages by import path. A nil
+	// entry marks an import in progress, which only a (illegal) cycle hits.
+	deps map[string]*types.Package
+}
+
+// NewLoader returns a loader rooted at modDir. When modDir/go.mod exists its
+// module path seeds intra-module import resolution.
+func NewLoader(modDir string) *Loader {
+	l := &Loader{
+		fset: token.NewFileSet(),
+		bctx: build.Default,
+		deps: map[string]*types.Package{},
+	}
+	// Pure-Go file selection: the analyzers reason about Go source, and
+	// disabling cgo makes GOROOT packages resolve to their portable variants.
+	l.bctx.CgoEnabled = false
+	if abs, err := filepath.Abs(modDir); err == nil {
+		modDir = abs
+	}
+	if data, err := os.ReadFile(filepath.Join(modDir, "go.mod")); err == nil {
+		if path := modulePath(data); path != "" {
+			l.modPath = path
+			l.modDir = modDir
+		}
+	}
+	return l
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// importPathFor maps a directory to its module-qualified import path, or the
+// directory base name outside the module.
+func (l *Loader) importPathFor(dir string) string {
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs
+	}
+	if l.modDir != "" {
+		if rel, err := filepath.Rel(l.modDir, dir); err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			if rel == "." {
+				return l.modPath
+			}
+			return l.modPath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	return filepath.Base(dir)
+}
+
+// dirFor resolves an import path to a source directory: module-local paths
+// into the module tree, everything else into GOROOT/src, then the GOROOT
+// vendor tree (net's golang.org/x/net/dns/dnsmessage and friends).
+func (l *Loader) dirFor(path string) (string, bool) {
+	if l.modPath != "" {
+		if path == l.modPath {
+			return l.modDir, true
+		}
+		if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+			return filepath.Join(l.modDir, filepath.FromSlash(rest)), true
+		}
+	}
+	goroot := runtime.GOROOT()
+	for _, dir := range []string{
+		filepath.Join(goroot, "src", filepath.FromSlash(path)),
+		filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path)),
+	} {
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.deps[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("lint: cannot resolve import %q", path)
+	}
+	l.deps[path] = nil // cycle guard
+	pkg, err := l.loadDep(dir, path)
+	l.deps[path] = pkg
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// loadDep parses and typechecks a dependency package. Dependencies are
+// loaded without comments or per-expression info — only their exported type
+// surface matters to the target package's analysis.
+func (l *Loader) loadDep(dir, path string) (*types.Package, error) {
+	bp, err := l.bctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(error) {}, // tolerate partial dependencies
+	}
+	pkg, _ := conf.Check(path, l.fset, files, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: typechecking %q produced no package", path)
+	}
+	pkg.MarkComplete()
+	return pkg, nil
+}
+
+// Load parses and typechecks the package in dir as an analysis target:
+// comments retained (suppression directives, guarded-by annotations) and
+// full types.Info recorded. Type errors are collected, not fatal.
+func (l *Loader) Load(dir string) (*Package, error) {
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs
+	}
+	bp, err := l.bctx.ImportDir(dir, 0)
+	if err != nil {
+		if _, nogo := err.(*build.NoGoError); nogo {
+			return nil, err
+		}
+		return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+	}
+	pkg := &Package{
+		Fset:       l.fset,
+		Dir:        dir,
+		ImportPath: l.importPathFor(dir),
+	}
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(pkg.ImportPath, l.fset, pkg.Files, pkg.Info)
+	return pkg, nil
+}

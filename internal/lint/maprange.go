@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapRange flags `for range` over map-typed values in the packages whose
+// results feed rendered output (the report/stats aggregation spine and the
+// enrichment sources it joins). Go randomizes map iteration order, so any
+// output derived from an unsorted walk differs run to run — exactly the
+// nondeterminism the corpus runner's equivalence tests exist to rule out.
+//
+// The one sanctioned shape is collect-then-sort: a loop body consisting
+// solely of appends into local slices, every one of which is passed to a
+// sort.* call later in the same function. Everything else needs either a
+// rewrite or an explicit "//cblint:ignore maprange <reason>".
+type MapRange struct{}
+
+// mapRangeScope lists the package-path suffixes under enforcement: the
+// aggregate builders (report, stats), the domain census (urlx), and the
+// enrichment ledgers whose query results land in tables (webnet, whois).
+var mapRangeScope = []string{
+	"internal/report",
+	"internal/stats",
+	"internal/urlx",
+	"internal/webnet",
+	"internal/whois",
+}
+
+// Name implements Analyzer.
+func (MapRange) Name() string { return "maprange" }
+
+// Doc implements Analyzer.
+func (MapRange) Doc() string {
+	return "flag range-over-map in aggregation/rendering packages unless keys are collected and sorted first"
+}
+
+// Applies implements Analyzer.
+func (MapRange) Applies(importPath string) bool {
+	for _, s := range mapRangeScope {
+		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check implements Analyzer.
+func (m MapRange) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		// Collect every function body so each range statement can be
+		// matched to its innermost enclosing function — the span the
+		// collect-then-sort exemption searches for the later sort call.
+		var bodies []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bodies = append(bodies, fn.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, fn.Body)
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !m.isMapType(pkg, rs.X) {
+				return true
+			}
+			if body := innermostBody(bodies, rs); body != nil && collectThenSort(rs, body) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: m.Name(),
+				Pos:      pkg.Fset.Position(rs.Pos()),
+				Message: fmt.Sprintf(
+					"range over map %s iterates in random order; collect and sort keys first",
+					exprString(rs.X)),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// isMapType reports whether expr has map type, from type info when present.
+func (MapRange) isMapType(pkg *Package, expr ast.Expr) bool {
+	if pkg.Info == nil {
+		return false
+	}
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// innermostBody returns the smallest function body containing the range
+// statement.
+func innermostBody(bodies []*ast.BlockStmt, rs *ast.RangeStmt) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= rs.Pos() && rs.End() <= b.End() {
+			if best == nil || (best.Pos() <= b.Pos() && b.End() <= best.End()) {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+// collectThenSort recognizes the sanctioned idiom: the range body only
+// appends map keys/values into local slices, and each of those slices is
+// later (lexically after the loop, same function) handed to a sort.* call.
+func collectThenSort(rs *ast.RangeStmt, body *ast.BlockStmt) bool {
+	targets := appendOnlyTargets(rs.Body)
+	if len(targets) == 0 {
+		return false
+	}
+	for name := range targets {
+		if !sortedAfter(body, rs, name) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendOnlyTargets returns the identifiers appended to when the loop body
+// consists exclusively of `x = append(x, ...)` statements (plus if-guards,
+// continue, and nothing else). A nil/empty result means the body does other
+// work and the exemption cannot apply.
+func appendOnlyTargets(body *ast.BlockStmt) map[string]bool {
+	targets := map[string]bool{}
+	if !gatherAppends(body.List, targets) {
+		return nil
+	}
+	return targets
+}
+
+func gatherAppends(stmts []ast.Stmt, targets map[string]bool) bool {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.AssignStmt:
+			name, ok := appendTarget(s)
+			if !ok {
+				return false
+			}
+			targets[name] = true
+		case *ast.IfStmt:
+			// Guards like `if seen[k] { continue }` are allowed as long as
+			// every branch is itself append-only or flow control.
+			if !gatherAppends(s.Body.List, targets) {
+				return false
+			}
+			if s.Else != nil {
+				if blk, ok := s.Else.(*ast.BlockStmt); !ok || !gatherAppends(blk.List, targets) {
+					return false
+				}
+			}
+		case *ast.BranchStmt:
+			// continue / break
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// appendTarget matches `x = append(x, ...)` and returns x's name.
+func appendTarget(s *ast.AssignStmt) (string, bool) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return "", false
+	}
+	lhs, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) == 0 {
+		return "", false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || first.Name != lhs.Name {
+		return "", false
+	}
+	return lhs.Name, true
+}
+
+// sortedAfter reports whether a sort.* call lexically after the range loop
+// mentions the identifier name in its arguments.
+func sortedAfter(body *ast.BlockStmt, rs *ast.RangeStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkgIdent, ok := sel.X.(*ast.Ident); !ok || pkgIdent.Name != "sort" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsIdent(arg, name) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsIdent reports whether the expression tree references name.
+func mentionsIdent(expr ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// exprString renders a short source form of simple expressions for messages.
+func exprString(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	default:
+		return "value"
+	}
+}

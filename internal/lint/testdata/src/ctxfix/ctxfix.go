@@ -1,0 +1,27 @@
+// Package ctxfix is the ctxflow-analyzer fixture: fresh root contexts in
+// library code and calls that drop an in-scope ctx are findings; threading
+// the caller's ctx is not.
+package ctxfix
+
+import "context"
+
+func fetch(ctx context.Context, url string) error {
+	return ctx.Err()
+}
+
+func library(url string) error {
+	return fetch(context.Background(), url) // want "severs cancellation"
+}
+
+func drops(ctx context.Context, url string) error {
+	return fetch(context.TODO(), url) // want "severs cancellation" "is in scope; pass the in-scope ctx"
+}
+
+func threads(ctx context.Context, url string) error {
+	return fetch(ctx, url)
+}
+
+func sanctioned(url string) error {
+	//cblint:ignore ctxflow fixture demonstrates an annotated convenience wrapper
+	return fetch(context.Background(), url)
+}

@@ -1,0 +1,30 @@
+// Package determfix is the determinism-analyzer fixture: wall-clock reads
+// and global rand draws are findings; seeded generators and pure time
+// arithmetic are not.
+package determfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now reads the process wall clock"
+}
+
+func napAndDraw() int {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the process wall clock"
+	return rand.Int()            // want "global rand.Int is not seed-injected"
+}
+
+func sanctioned(seed int64) *rand.Rand {
+	//cblint:ignore determinism generator is seeded from the caller-supplied seed
+	return rand.New(rand.NewSource(seed))
+}
+
+func fine(r *rand.Rand, at time.Time) time.Time {
+	if r.Float64() > 0.5 {
+		return at.Add(time.Minute)
+	}
+	return time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+}

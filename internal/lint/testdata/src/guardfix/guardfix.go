@@ -1,0 +1,32 @@
+// Package guardfix is the guarded-analyzer fixture: accessing an annotated
+// field without locking its mutex first is a finding, and so is annotating
+// a field with a guard that does not exist.
+package guardfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	// guarded by lock
+	bad int // want "is not a field of counter"
+}
+
+func (c *counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) Bad() int {
+	return c.n // want "lock c.mu before accessing it in Bad"
+}
+
+func (c *counter) BadIncr() {
+	c.n++ // want "lock c.mu before accessing it in BadIncr"
+}
+
+func (c *counter) Sanctioned() int {
+	//cblint:ignore guarded fixture demonstrates an annotated racy read
+	return c.n
+}

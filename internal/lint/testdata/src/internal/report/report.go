@@ -1,0 +1,43 @@
+// Package report is the maprange-analyzer fixture. Its directory is named
+// so the loaded import path ends in internal/report — one of the enforced
+// aggregation packages.
+package report
+
+import "sort"
+
+func Unsorted(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "iterates in random order"
+		total += v
+	}
+	return total
+}
+
+func FirstKey(m map[string]bool) string {
+	for k := range m { // want "iterates in random order"
+		return k
+	}
+	return ""
+}
+
+func Sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		if m[k] > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func Sanctioned(m map[string]int) int {
+	best := 0
+	//cblint:ignore maprange max of values is independent of iteration order
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,11 @@
+// Package jsonfix is the fixed-content fixture behind cmd/cblint's golden
+// JSON output test. Keep it stable: the golden file encodes these exact
+// positions.
+package jsonfix
+
+import "time"
+
+// Stamp reads the wall clock twice, yielding two findings on one line.
+func Stamp() (time.Time, time.Time) {
+	return time.Now(), time.Now()
+}

@@ -1,0 +1,20 @@
+// Package suppressfix exercises the suppression directive itself: a named
+// suppression, the "all" wildcard, and a malformed directive with no reason.
+package suppressfix
+
+import "time"
+
+func covered() time.Time {
+	//cblint:ignore determinism fixture demonstrates a named suppression
+	return time.Now()
+}
+
+func wildcard() time.Time {
+	//cblint:ignore all fixture demonstrates the wildcard
+	return time.Now()
+}
+
+func missingReason() time.Time {
+	//cblint:ignore determinism
+	return time.Now()
+}

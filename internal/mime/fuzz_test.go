@@ -1,0 +1,41 @@
+package mime
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzParseMessage drives the recursive RFC-5322/MIME parser with builder
+// output — multipart, nested message/rfc822, attachments — plus corrupted
+// and hostile variants. The contract: never panic, never return a nil
+// *Part without an error, no matter how mangled the input. The seed corpus
+// runs as ordinary test cases; `go test -fuzz=FuzzParseMessage` explores
+// beyond it.
+func FuzzParseMessage(f *testing.F) {
+	at := time.Date(2024, 3, 1, 9, 0, 0, 0, time.UTC)
+	simple := NewBuilder("a@x.example", "b@y.example", "hello", at).
+		Text("plain body").Build()
+	multipart := NewBuilder("it@corp.example", "user@corp.example", "reset", at).
+		Text("see attachment").
+		Attach("application/pdf", "invoice.pdf", []byte("%PDF-1.4 fake")).
+		Build()
+	nested := NewBuilder("fw@x.example", "b@y.example", "fwd", at).
+		Text("forwarded").
+		AttachEML("original.eml", simple).
+		Build()
+	f.Add(simple)
+	f.Add(multipart)
+	f.Add(nested)
+	f.Add(multipart[:len(multipart)/2])
+	f.Add(bytes.Replace(multipart, []byte("boundary"), []byte("bound"), 1))
+	f.Add([]byte("Subject: bare\r\n\r\n"))
+	f.Add([]byte("no headers at all"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		p, err := Parse(raw)
+		if err == nil && p == nil {
+			t.Fatal("Parse returned nil *Part with nil error")
+		}
+	})
+}

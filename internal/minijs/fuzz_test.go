@@ -1,0 +1,29 @@
+package minijs
+
+import "testing"
+
+// FuzzMiniJS feeds the interpreter arbitrary source under a small fuel
+// budget. The contract: parse errors and runtime errors are returned, never
+// panicked, and the fuel bound guarantees termination — exactly what the
+// browser relies on when running hostile phishing-kit scripts. The seeds
+// cover the constructs kits actually use: eval-free obfuscation, busy
+// loops, exceptions, and the cloaking-style conditional redirect.
+func FuzzMiniJS(f *testing.F) {
+	f.Add(`var x = 1 + 2 * 3; x`)
+	f.Add(`function f(n) { return n < 2 ? 1 : f(n-1) + f(n-2); } f(10)`)
+	f.Add(`var s = ""; for (var i = 0; i < 10; i++) { s += String.fromCharCode(104 + i); } s`)
+	f.Add(`while (true) {}`)
+	f.Add(`try { null.x } catch (e) { "caught" }`)
+	f.Add(`if (navigator && navigator.webdriver) { location.href = "/bot"; }`)
+	f.Add(`throw "boom"`)
+	f.Add(`var o = {a: [1,2,3]}; o.a[1]`)
+	f.Add(`}{ not javascript ((`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, src string) {
+		ip := New(50_000)
+		_, _ = ip.Eval(src)
+		if ip.Fuel() > 50_000 {
+			t.Fatalf("fuel grew during evaluation: %d", ip.Fuel())
+		}
+	})
+}

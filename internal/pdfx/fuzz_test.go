@@ -1,0 +1,34 @@
+package pdfx
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParsePDF drives the tolerant parser with writer output (plain and
+// Flate-compressed), truncated and corrupted variants, and non-PDF noise.
+// The contract under fuzzing: never panic, and never return a nil *Parsed
+// without an error. The seed corpus runs as ordinary test cases under
+// `go test`; `go test -fuzz=FuzzParsePDF` explores beyond it.
+func FuzzParsePDF(f *testing.F) {
+	doc := &Document{Pages: []Page{{
+		TextLines: []string{"Your mailbox is almost full", "Verify your account now"},
+		LinkURIs:  []string{"https://login-verify.example/q?t=abc"},
+	}}}
+	plain := Build(doc, false)
+	compressed := Build(doc, true)
+	f.Add(plain)
+	f.Add(compressed)
+	f.Add(plain[:len(plain)/2])
+	f.Add(bytes.Replace(compressed, []byte("stream"), []byte("strean"), 1))
+	f.Add([]byte("%PDF-1.4\n1 0 obj\n<< /Type /Action /URI (https://x.example) >>\nendobj\n"))
+	f.Add([]byte("%PDF-1.4\n1 0 obj\n<< /Length 99999 >>\nstream\nshort\nendstream\nendobj\n"))
+	f.Add([]byte("not a pdf at all"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err == nil && p == nil {
+			t.Fatal("Parse returned nil *Parsed with nil error")
+		}
+	})
+}

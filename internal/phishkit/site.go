@@ -88,9 +88,9 @@ type Site struct {
 
 	mu sync.Mutex
 	// Harvested records credentials posted to the collector.
-	Harvested []Credentials
+	Harvested []Credentials // guarded by mu
 	// VictimDB is the allowlist the victim-check script queries.
-	VictimDB map[string]bool
+	VictimDB map[string]bool // guarded by mu
 }
 
 // Credentials is one harvested submission.

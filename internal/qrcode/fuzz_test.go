@@ -1,0 +1,40 @@
+package qrcode
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeQR checks the encode/decode round trip: any payload Encode
+// accepts must come back byte-identical from DecodeMatrix, at every error
+// correction level. The seed corpus covers the three segment modes
+// (numeric, alphanumeric, byte), the paper's deliberately "faulty" QR
+// payload shape ("xxx https://..."), and capacity edges; `go test
+// -fuzz=FuzzDecodeQR` searches for payloads that break the pair.
+func FuzzDecodeQR(f *testing.F) {
+	f.Add("HTTPS://EVIL-SITE.EXAMPLE/QR", uint8(0))
+	f.Add("xxx https://evil-site.com/", uint8(1))
+	f.Add("0123456789012345", uint8(2))
+	f.Add("https://login.example/session?id=12345&u=a%20b", uint8(3))
+	f.Add("", uint8(0))
+	f.Add(strings.Repeat("A1B2", 300), uint8(1))
+	f.Fuzz(func(t *testing.T, payload string, lvl uint8) {
+		level := ECLow + ECLevel(lvl%4)
+		m, err := Encode(payload, level)
+		if err != nil {
+			// Over-capacity or unencodable payloads are a legitimate
+			// refusal, not a round-trip failure.
+			return
+		}
+		d, err := DecodeMatrix(m)
+		if err != nil {
+			t.Fatalf("DecodeMatrix failed on freshly encoded %q (level %v): %v", payload, level, err)
+		}
+		if d.Payload != payload {
+			t.Fatalf("round trip mismatch: encoded %q, decoded %q", payload, d.Payload)
+		}
+		if d.Corrected != 0 {
+			t.Fatalf("decoding a pristine matrix applied %d corrections", d.Corrected)
+		}
+	})
+}

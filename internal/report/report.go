@@ -48,6 +48,7 @@ type Run struct {
 // Analyze runs the pipeline over every corpus message serially. It is
 // AnalyzeParallel with one worker.
 func Analyze(c *dataset.Corpus) (*Run, error) {
+	//cblint:ignore ctxflow Analyze is the documented no-cancellation serial wrapper around AnalyzeParallel
 	return AnalyzeParallel(context.Background(), c, 1)
 }
 
@@ -65,7 +66,7 @@ func AnalyzeParallel(ctx context.Context, c *dataset.Corpus, workers int) (*Run,
 	}
 	sort.Strings(brands)
 	for _, b := range brands {
-		if err := pipe.AddReference(b, c.BrandURLs[b]); err != nil {
+		if err := pipe.AddReference(ctx, b, c.BrandURLs[b]); err != nil {
 			return nil, fmt.Errorf("report: reference %s: %w", b, err)
 		}
 	}

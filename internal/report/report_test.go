@@ -231,7 +231,7 @@ func TestRenderersProduceOutput(t *testing.T) {
 }
 
 func TestRenderTable1(t *testing.T) {
-	a, err := crawler.RunAssessment()
+	a, err := crawler.RunAssessment(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

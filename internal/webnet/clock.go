@@ -20,7 +20,7 @@ import (
 // reads from a Clock, so experiments are reproducible.
 type Clock struct {
 	mu  sync.Mutex
-	now time.Time
+	now time.Time // guarded by mu
 }
 
 // NewClock returns a clock set to the given start time.

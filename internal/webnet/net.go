@@ -87,12 +87,7 @@ type Request struct {
 
 // Header returns a request header (case-insensitive).
 func (r *Request) Header(name string) string {
-	for k, v := range r.Headers {
-		if strings.EqualFold(k, name) {
-			return v
-		}
-	}
-	return ""
+	return headerLookup(r.Headers, name)
 }
 
 // URL reassembles the absolute URL.
@@ -114,12 +109,28 @@ type Response struct {
 
 // Header returns a response header (case-insensitive).
 func (r *Response) Header(name string) string {
-	for k, v := range r.Headers {
+	return headerLookup(r.Headers, name)
+}
+
+// headerLookup finds a header value case-insensitively. An exact-case hit
+// returns immediately; otherwise the folded matches are sorted so that when
+// a map carries several casings of one header, the winner does not depend
+// on map iteration order.
+func headerLookup(headers map[string]string, name string) string {
+	if v, ok := headers[name]; ok {
+		return v
+	}
+	var matches []string
+	for k := range headers {
 		if strings.EqualFold(k, name) {
-			return v
+			matches = append(matches, k)
 		}
 	}
-	return ""
+	if len(matches) == 0 {
+		return ""
+	}
+	sort.Strings(matches)
+	return headers[matches[0]]
 }
 
 // Handler serves simulated requests.
@@ -130,27 +141,27 @@ type Internet struct {
 	Clock *Clock
 
 	mu         sync.Mutex
-	dns        map[string]string
-	ipClass    map[string]IPClass
-	ipCountry  map[string]string
-	banners    map[string]string
-	servers    map[string]Handler
-	certs      map[string][]*Certificate
-	ctLog      []*Certificate
-	queryLog   map[string][]QueryRecord
-	queryAgg   map[string]map[string]int
-	nextIP     [4]int
-	nextSerial int
+	dns        map[string]string         // guarded by mu
+	ipClass    map[string]IPClass        // guarded by mu
+	ipCountry  map[string]string         // guarded by mu
+	banners    map[string]string         // guarded by mu
+	servers    map[string]Handler        // guarded by mu
+	certs      map[string][]*Certificate // guarded by mu
+	ctLog      []*Certificate            // guarded by mu
+	queryLog   map[string][]QueryRecord  // guarded by mu
+	queryAgg   map[string]map[string]int // guarded by mu
+	nextIP     [4]int                    // guarded by mu
+	nextSerial int                       // guarded by mu
 	// RequestLatency is the virtual time cost of one HTTP round trip.
 	RequestLatency time.Duration
 	// trafficLog records every request for referral analysis. It is
 	// append-only: entries are never mutated once logged, which is what
 	// makes the zero-copy EachTraffic/EachTrafficTo views safe.
-	trafficLog []LoggedExchange
+	trafficLog []LoggedExchange // guarded by mu
 	// trafficByHost indexes trafficLog positions by request host, so
 	// per-host traffic queries touch only the matching entries instead of
 	// scanning (or copying) the whole ledger.
-	trafficByHost map[string][]int
+	trafficByHost map[string][]int // guarded by mu
 }
 
 // LoggedExchange pairs a request with its response for traffic analysis.
@@ -342,7 +353,8 @@ func (n *Internet) QueryVolume(host string, window time.Duration, until time.Tim
 		day := q.At.Format("2006-01-02")
 		perDay[day]++
 	}
-	for day, c := range n.queryAgg[host] {
+	for _, day := range sortedDays(n.queryAgg[host]) {
+		c := n.queryAgg[host][day]
 		t, err := time.Parse("2006-01-02", day)
 		if err != nil || t.Before(since.Add(-24*time.Hour)) || t.After(until) {
 			continue
@@ -350,12 +362,23 @@ func (n *Internet) QueryVolume(host string, window time.Duration, until time.Tim
 		total += c
 		perDay[day] += c
 	}
-	for _, c := range perDay {
-		if c > maxDaily {
-			maxDaily = c
+	for _, day := range sortedDays(perDay) {
+		if perDay[day] > maxDaily {
+			maxDaily = perDay[day]
 		}
 	}
 	return total, maxDaily
+}
+
+// sortedDays returns the map's day keys in ascending order, so volume
+// summaries walk per-day counts deterministically.
+func sortedDays(m map[string]int) []string {
+	days := make([]string, 0, len(m))
+	for day := range m {
+		days = append(days, day)
+	}
+	sort.Strings(days)
+	return days
 }
 
 // BackgroundQueryVolume summarizes passive-DNS activity for host inside
@@ -369,7 +392,8 @@ func (n *Internet) BackgroundQueryVolume(host string, window time.Duration, unti
 	since := until.Add(-window)
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	for day, c := range n.queryAgg[host] {
+	for _, day := range sortedDays(n.queryAgg[host]) {
+		c := n.queryAgg[host][day]
 		t, err := time.Parse("2006-01-02", day)
 		if err != nil || t.Before(since.Add(-24*time.Hour)) || t.After(until) {
 			continue
@@ -439,6 +463,7 @@ func (n *Internet) Unserve(host string) {
 // Do performs one HTTP round trip: DNS resolution (logged), server lookup,
 // handler dispatch, latency accounting, and traffic logging.
 func (n *Internet) Do(req *Request) (*Response, error) {
+	//cblint:ignore ctxflow Do is the documented no-cancellation convenience wrapper around DoCtx
 	return n.DoCtx(context.Background(), req)
 }
 

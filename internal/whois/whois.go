@@ -7,6 +7,7 @@ package whois
 
 import (
 	"errors"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -51,8 +52,9 @@ var ErrNotFound = errors.New("whois: no record")
 
 // Registry is a thread-safe in-memory WHOIS database.
 type Registry struct {
-	mu      sync.Mutex
-	records map[string]Record
+	mu sync.Mutex
+	// records maps lowercase registrable domain to its entry.
+	records map[string]Record // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -102,13 +104,19 @@ func (r *Registry) IsNewDomain(domain string, at time.Time) (bool, error) {
 	return age < NewDomainThreshold, nil
 }
 
-// All returns a copy of every record.
+// All returns a copy of every record, sorted by domain so callers that
+// render or aggregate the registry see a stable order.
 func (r *Registry) All() []Record {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Record, 0, len(r.records))
-	for _, rec := range r.records {
-		out = append(out, rec)
+	domains := make([]string, 0, len(r.records))
+	for d := range r.records {
+		domains = append(domains, d)
+	}
+	sort.Strings(domains)
+	out := make([]Record, 0, len(domains))
+	for _, d := range domains {
+		out = append(out, r.records[d])
 	}
 	return out
 }
