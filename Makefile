@@ -4,16 +4,17 @@ GO ?= go
 # benchmark so BENCH_$(PR).json carries mean/min/max per metric.
 BENCHTIME ?= 0.2s
 BENCHCOUNT ?= 5
-PR ?= 2
+PR ?= 4
 
-.PHONY: check build vet lint test race bench benchquick
+.PHONY: check build vet lint test race bench benchquick tracecheck
 
 # check is the repository's quality gate (DESIGN.md §7): compile, vet, the
 # cblint invariant linter (DESIGN.md §9), the full test suite (plain and
 # under the race detector — the race run includes the workers-1-vs-8
-# determinism tests and the concurrent-census test), and one pass of the
-# pipeline-throughput benchmarks (serial + worker pool).
-check: build vet lint test race benchquick
+# determinism tests and the concurrent-census test), one pass of the
+# pipeline-throughput benchmarks (serial + worker pool), and the trace
+# golden check (DESIGN.md §10).
+check: build vet lint test race benchquick tracecheck
 
 build:
 	$(GO) build ./...
@@ -36,9 +37,26 @@ race:
 benchquick:
 	$(GO) test -run='^$$' -bench=BenchmarkPipelineThroughput -benchtime=1x .
 
+# tracecheck replays the example corpus with tracing on and diffs both
+# exports against the committed goldens (testdata/tracecheck.golden.*):
+# the executable proof that span timelines and metrics are byte-reproducible.
+# Regenerate the goldens by running the same command against testdata/.
+tracecheck:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/crawlerbox -n 8 -workers 4 \
+		-trace $$tmp/trace.jsonl -metrics $$tmp/metrics.prom > /dev/null && \
+	diff -u testdata/tracecheck.golden.jsonl $$tmp/trace.jsonl && \
+	diff -u testdata/tracecheck.golden.prom $$tmp/metrics.prom && \
+	rm -rf $$tmp && echo "tracecheck: trace and metrics match goldens"
+
 # bench runs the full bench_test.go suite with allocation reporting and
 # BENCHCOUNT repetitions, then distills the output into BENCH_$(PR).json —
-# the perf trajectory future PRs regress-check against.
+# the perf trajectory future PRs regress-check against. An observed example
+# run contributes its metrics dump (span counts, bytes observed, cloak
+# verdicts) to the same JSON via benchjson -metrics.
 bench:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/crawlerbox -n 8 -workers 4 -metrics $$tmp/metrics.prom > /dev/null && \
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) . \
-		| $(GO) run ./cmd/benchjson -o BENCH_$(PR).json
+		| $(GO) run ./cmd/benchjson -o BENCH_$(PR).json -metrics $$tmp/metrics.prom && \
+	rm -rf $$tmp

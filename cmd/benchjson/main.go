@@ -7,9 +7,16 @@
 // mean/min/max per metric so later PRs can regress-check against the
 // recorded trajectory (BENCH_<pr>.json files at the repository root).
 //
+// With -metrics FILE the report additionally embeds a Prometheus text dump
+// (as produced by `crawlerbox -metrics` / `report -metrics`) as a flat
+// name{labels} → value map, so trajectory files carry the observability
+// counters (span counts, bytes observed, cloak verdicts) alongside the
+// timing columns.
+//
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem -count=5 . | benchjson -o BENCH_2.json
+//	go test ... | benchjson -o BENCH_4.json -metrics metrics.prom
 package main
 
 import (
@@ -44,6 +51,44 @@ type report struct {
 	Goarch     string                            `json:"goarch,omitempty"`
 	CPU        string                            `json:"cpu,omitempty"`
 	Benchmarks map[string]map[string]*metricStat `json:"benchmarks"`
+	// Metrics holds a flat name{labels} → value view of a Prometheus text
+	// dump ingested via -metrics (scalar series and histogram _sum/_count
+	// lines; # comments are skipped).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// parsePromLine splits one Prometheus exposition line into its series key
+// (name plus verbatim label block) and value. Comment and blank lines
+// return ok=false.
+func parsePromLine(line string) (string, float64, bool) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return "", 0, false
+	}
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return "", 0, false
+	}
+	v, err := strconv.ParseFloat(line[i+1:], 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return line[:i], v, true
+}
+
+// loadMetrics reads a Prometheus text dump into a flat key → value map.
+func loadMetrics(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if key, v, ok := parsePromLine(line); ok {
+			out[key] = v
+		}
+	}
+	return out, nil
 }
 
 // metricKey maps a benchmark output unit to a stable JSON key.
@@ -97,11 +142,20 @@ func parseLine(line string) (string, map[string]float64, bool) {
 
 func main() {
 	out := flag.String("o", "BENCH.json", "output JSON path")
+	metricsPath := flag.String("metrics", "", "Prometheus text dump to embed in the report")
 	flag.Parse()
 
 	results := map[string]*benchResult{}
 	var order []string
 	rep := &report{Schema: "crawlerbox-bench/v1", Benchmarks: map[string]map[string]*metricStat{}}
+	if *metricsPath != "" {
+		m, err := loadMetrics(*metricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: metrics:", err)
+			os.Exit(1)
+		}
+		rep.Metrics = m
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)

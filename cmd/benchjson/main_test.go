@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	name, m, ok := parseLine("BenchmarkPerceptualHashing/pHash-8 \t 993\t  206316 ns/op\t   28208 B/op\t       6 allocs/op")
@@ -29,6 +33,44 @@ func TestParseLineCustomMetric(t *testing.T) {
 	}
 	if m["msgs_per_s"] != 533.2 {
 		t.Errorf("msgs_per_s = %v", m["msgs_per_s"])
+	}
+}
+
+func TestParsePromLine(t *testing.T) {
+	for _, tc := range []struct {
+		line string
+		key  string
+		v    float64
+		ok   bool
+	}{
+		{`webnet_requests_total{status="2xx"} 42`, `webnet_requests_total{status="2xx"}`, 42, true},
+		{`obs_spans_total 123`, `obs_spans_total`, 123, true},
+		{`crawlerbox_stage_ns_sum{stage="crawl"} 1.5e+08`, `crawlerbox_stage_ns_sum{stage="crawl"}`, 1.5e8, true},
+		{`# TYPE obs_spans_total counter`, "", 0, false},
+		{``, "", 0, false},
+		{`not a metric line`, "", 0, false},
+	} {
+		key, v, ok := parsePromLine(tc.line)
+		if key != tc.key || v != tc.v || ok != tc.ok {
+			t.Errorf("parsePromLine(%q) = (%q, %v, %v), want (%q, %v, %v)",
+				tc.line, key, v, ok, tc.key, tc.v, tc.ok)
+		}
+	}
+}
+
+func TestLoadMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	dump := "# TYPE obs_spans_total counter\nobs_spans_total 40\n" +
+		"# TYPE webnet_response_bytes_total counter\nwebnet_response_bytes_total 115\n"
+	if err := os.WriteFile(path, []byte(dump), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadMetrics(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m["obs_spans_total"] != 40 || m["webnet_response_bytes_total"] != 115 {
+		t.Errorf("loadMetrics = %v", m)
 	}
 }
 

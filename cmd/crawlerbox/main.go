@@ -8,6 +8,11 @@
 // Usage:
 //
 //	crawlerbox [-dir DIR] [-seed N] [-scale F] [-n N] [-workers N]
+//	           [-trace FILE] [-metrics FILE]
+//
+// -trace writes one JSONL span record per line (virtual-time timestamps,
+// byte-identical for any -workers value); -metrics writes a Prometheus text
+// dump. Render either with cmd/obsreport.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 
 	"crawlerbox/internal/crawlerbox"
 	"crawlerbox/internal/dataset"
+	"crawlerbox/internal/obs"
 	"crawlerbox/internal/phishkit"
 )
 
@@ -39,6 +45,8 @@ func run() error {
 	scale := flag.Float64("scale", 0.1, "world/corpus scale (must match mkdataset for -dir)")
 	limit := flag.Int("n", 10, "maximum messages to analyze (0 = all)")
 	workers := flag.Int("workers", runtime.NumCPU(), "analysis worker-pool size (results are identical for any value)")
+	tracePath := flag.String("trace", "", "write per-message trace spans as JSONL to FILE")
+	metricsPath := flag.String("metrics", "", "write metrics as Prometheus text to FILE")
 	flag.Parse()
 
 	corpus, err := dataset.Generate(dataset.Config{Seed: *seed, Scale: *scale})
@@ -46,6 +54,12 @@ func run() error {
 		return err
 	}
 	pipe := crawlerbox.New(corpus.Net, corpus.Registry)
+	var observer *obs.Observer
+	if *tracePath != "" || *metricsPath != "" {
+		observer = obs.New()
+		pipe.Obs = observer
+		corpus.Net.Metrics = observer.Metrics
+	}
 	for _, b := range phishkit.StudyBrands {
 		if err := pipe.AddReference(context.Background(), b.Name, corpus.BrandURLs[b.Name]); err != nil {
 			return err
@@ -110,6 +124,41 @@ func run() error {
 			line += " cloaks={" + cloaks + "}"
 		}
 		fmt.Println(line)
+	}
+	return writeObservability(observer, *tracePath, *metricsPath)
+}
+
+// writeObservability dumps the observer's trace JSONL and Prometheus text
+// exports to the requested files. A nil observer writes nothing.
+func writeObservability(o *obs.Observer, tracePath, metricsPath string) error {
+	if o == nil {
+		return nil
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := o.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := o.Metrics.WriteProm(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,80 @@
+// Command obsreport renders the trace-driven triage views from a JSONL
+// trace dump produced by `crawlerbox -trace` or `report -trace`: the
+// corpus-level stage-latency table (p50/p95 in virtual nanoseconds), the
+// outcome tally, the slowest messages with their critical paths, and — for
+// one selected message — the full indented span tree (flame summary).
+//
+// All durations are virtual time read from each analysis's private clock
+// fork, so the report is byte-identical across runs and worker counts.
+//
+// Usage:
+//
+//	obsreport [-top K] [-msg N] trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"crawlerbox/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "obsreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("obsreport", flag.ContinueOnError)
+	top := fs.Int("top", 3, "show the K slowest messages with their critical paths")
+	msg := fs.Int64("msg", 0, "render the full span tree for this trace (message) ID")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: obsreport [-top K] [-msg N] trace.jsonl")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	traces, err := obs.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("%s: no spans", fs.Arg(0))
+	}
+
+	spans := 0
+	for _, t := range traces {
+		spans += len(t.Spans())
+	}
+	fmt.Fprintf(w, "Trace corpus: %d messages, %d spans\n\n", len(traces), spans)
+	fmt.Fprintln(w, obs.RenderStageTable(traces))
+	fmt.Fprintln(w, obs.RenderOutcomes(traces))
+
+	if *top > 0 {
+		fmt.Fprintf(w, "Slowest %d messages (critical path)\n", *top)
+		for _, t := range obs.SlowestTraces(traces, *top) {
+			fmt.Fprintf(w, "trace %d: %s\n", t.ID(), obs.RenderCriticalPath(t))
+		}
+	}
+
+	if *msg != 0 {
+		for _, t := range traces {
+			if t.ID() == *msg {
+				fmt.Fprintf(w, "\nSpan tree for message %d\n", *msg)
+				fmt.Fprint(w, obs.RenderTree(t))
+				return nil
+			}
+		}
+		return fmt.Errorf("trace %d not found", *msg)
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestReportGolden pins the rendered triage report for a recorded trace
+// (crawlerbox -seed 42 -scale 0.1 -n 8 -trace ...). Regenerate both files
+// with:
+//
+//	go run ./cmd/crawlerbox -n 8 -workers 4 -trace cmd/obsreport/testdata/trace.jsonl > /dev/null
+//	go run ./cmd/obsreport -top 3 -msg 2 cmd/obsreport/testdata/trace.jsonl > cmd/obsreport/testdata/report.golden
+func TestReportGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/report.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-top", "3", "-msg", "2", "testdata/trace.jsonl"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("report drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestReportMissingTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-msg", "999", "testdata/trace.jsonl"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "not found") {
+		t.Errorf("missing trace id: err = %v", err)
+	}
+	if err := run([]string{}, &buf); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Errorf("missing file arg: err = %v", err)
+	}
+}

@@ -5,10 +5,13 @@
 // Usage:
 //
 //	report [-seed N] [-scale F] [-workers N] [-only table1|table2|fig2|fig3|disposition|spear|nontargeted|cloaks]
+//	       [-trace FILE] [-metrics FILE]
 //
 // At -scale 1.0 (the default) the corpus holds 5,181 messages and the full
 // run takes a few seconds. -workers parallelizes the per-message analysis;
-// the aggregates are bitwise identical for every worker count.
+// the aggregates are bitwise identical for every worker count — as are the
+// -trace JSONL and -metrics Prometheus dumps, which record the corpus
+// analysis on the virtual clock (render them with cmd/obsreport).
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 
 	"crawlerbox/internal/crawler"
 	"crawlerbox/internal/dataset"
+	"crawlerbox/internal/obs"
 	"crawlerbox/internal/report"
 )
 
@@ -35,6 +39,8 @@ func run() error {
 	scale := flag.Float64("scale", 1.0, "corpus scale (1.0 = 5,181 messages)")
 	workers := flag.Int("workers", runtime.NumCPU(), "analysis worker-pool size (results are identical for any value)")
 	only := flag.String("only", "", "print a single artifact: table1|table2|fig2|fig3|disposition|spear|nontargeted|cloaks")
+	tracePath := flag.String("trace", "", "write per-message trace spans as JSONL to FILE")
+	metricsPath := flag.String("metrics", "", "write metrics as Prometheus text to FILE")
 	flag.Parse()
 
 	if *only == "table1" || *only == "" {
@@ -55,8 +61,15 @@ func run() error {
 		return err
 	}
 	fmt.Printf("Analyzing %d messages with CrawlerBox (%d workers)...\n\n", len(c.Messages), *workers)
-	run, err := report.AnalyzeParallel(context.Background(), c, *workers)
+	var observer *obs.Observer
+	if *tracePath != "" || *metricsPath != "" {
+		observer = obs.New()
+	}
+	run, err := report.AnalyzeParallelObserved(context.Background(), c, *workers, observer)
 	if err != nil {
+		return err
+	}
+	if err := writeObservability(observer, *tracePath, *metricsPath); err != nil {
 		return err
 	}
 
@@ -77,6 +90,41 @@ func run() error {
 			continue
 		}
 		fmt.Println(a.text())
+	}
+	return nil
+}
+
+// writeObservability dumps the observer's trace JSONL and Prometheus text
+// exports to the requested files. A nil observer writes nothing.
+func writeObservability(o *obs.Observer, tracePath, metricsPath string) error {
+	if o == nil {
+		return nil
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := o.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := o.Metrics.WriteProm(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

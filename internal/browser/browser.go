@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"math/rand"
 	neturl "net/url"
+	"strconv"
 	"strings"
 	"time"
 
 	"crawlerbox/internal/htmlx"
 	"crawlerbox/internal/imaging"
 	"crawlerbox/internal/minijs"
+	"crawlerbox/internal/obs"
 	"crawlerbox/internal/webnet"
 )
 
@@ -28,6 +30,10 @@ type Browser struct {
 	// network clock; a corpus runner replaces it with a per-analysis fork so
 	// concurrent analyses never advance each other's time.
 	Clock *webnet.Clock
+	// Trace, when set, records a visit span per navigation and threads
+	// itself onto every network request so round trips record child spans.
+	// The corpus runner binds it to the analysis's per-message trace.
+	Trace *obs.Trace
 	// ClientIP is the crawler's egress address; its provenance class is a
 	// server-side cloaking input.
 	ClientIP string
@@ -54,7 +60,7 @@ func New(net *webnet.Internet, profile Profile, clientIP string, seed int64) *Br
 		MaxRedirects:    10,
 		ScriptFuel:      400_000,
 		EventLoopWindow: 30 * time.Second,
-		MaxTimerFires: 60,
+		MaxTimerFires:   60,
 		//cblint:ignore determinism generator is seeded from the caller-supplied seed
 		rng: rand.New(rand.NewSource(seed)),
 	}
@@ -127,7 +133,30 @@ func (pg *page) context() context.Context {
 // context's error.
 func (b *Browser) Visit(ctx context.Context, rawURL string) (*Result, error) {
 	rec := &recorder{}
-	return b.navigate(ctx, rawURL, "", rec, 0)
+	span := b.Trace.Start(obs.SpanVisit, "visit "+obs.SanitizeURL(rawURL))
+	res, err := b.navigate(ctx, rawURL, "", rec, 0)
+	b.finishVisitSpan(span, res, err)
+	return res, err
+}
+
+// finishVisitSpan annotates and closes a visit span. URL attributes are
+// sanitized: final URLs can carry schedule-dependent clearance tokens in
+// their query, which must not reach the deterministic trace.
+func (b *Browser) finishVisitSpan(span *obs.Span, res *Result, err error) {
+	if span == nil {
+		return
+	}
+	if res != nil {
+		span.SetAttr("final_url", obs.SanitizeURL(res.FinalURL))
+		span.SetAttr("status", strconv.Itoa(res.Status))
+		span.SetAttr("requests", strconv.Itoa(len(res.Requests)))
+		span.SetAttr("navigations", strconv.Itoa(len(res.Navigations)))
+	}
+	if err != nil {
+		span.SetStatus(obs.StatusError)
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
 }
 
 // Result is everything CrawlerBox logs about one crawl.
@@ -196,6 +225,14 @@ func (b *Browser) navigate(ctx context.Context, rawURL, referrer string, rec *re
 func (b *Browser) LoadHTML(ctx context.Context, html, fileName string) (*Result, error) {
 	rec := &recorder{}
 	base := "file:///" + fileName
+	span := b.Trace.Start(obs.SpanVisit, "load "+base)
+	res, err := b.loadHTML(ctx, base, html, rec)
+	b.finishVisitSpan(span, res, err)
+	return res, err
+}
+
+// loadHTML is LoadHTML without the visit span.
+func (b *Browser) loadHTML(ctx context.Context, base, html string, rec *recorder) (*Result, error) {
 	pg, err := b.processDocument(ctx, base, "", html, rec, 0)
 	if err != nil {
 		return nil, err
@@ -381,6 +418,7 @@ func (b *Browser) fetch(ctx context.Context, method, rawURL, initiator, referrer
 		ClientIP:       b.ClientIP,
 		TLSFingerprint: b.Profile.TLSFingerprint,
 		Clock:          b.clock(),
+		Trace:          b.Trace,
 	}
 	resp, err := b.Net.DoCtx(ctx, req)
 	record := RequestRecord{

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"crawlerbox/internal/browser"
+	"crawlerbox/internal/obs"
 	"crawlerbox/internal/webnet"
 )
 
@@ -164,6 +165,14 @@ func defaultHeadless(kind Kind) bool {
 	default:
 		return true
 	}
+}
+
+// Instrument binds a trace buffer to the crawler's browser so its visits
+// and requests are recorded as spans. A nil trace turns tracing off.
+// Returns the crawler for chaining.
+func (c *Crawler) Instrument(tr *obs.Trace) *Crawler {
+	c.Browser.Trace = tr
+	return c
 }
 
 // Visit crawls a URL under the caller's context.

@@ -2,6 +2,7 @@ package crawlerbox
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -15,6 +16,11 @@ type CorpusResult struct {
 	// Err is the analysis failure, if any. A cancelled run reports the
 	// context error for every message that had not completed.
 	Err error
+	// Skipped marks a spec that no worker ever started because the run was
+	// cancelled first. Err still satisfies errors.Is(err, ctx.Err()), but a
+	// skipped spec is distinguishable from one whose analysis was cut off
+	// mid-flight.
+	Skipped bool
 }
 
 // AnalyzeCorpus analyzes a batch of messages with a bounded worker pool and
@@ -51,12 +57,20 @@ func (p *Pipeline) AnalyzeCorpus(ctx context.Context, specs []MessageSpec, worke
 		}()
 	}
 	wg.Wait()
+	skipped := 0
 	for i := range results {
 		results[i].Index = i
 		if results[i].Analysis == nil && results[i].Err == nil {
-			// Skipped by cancellation before a worker claimed it.
-			results[i].Err = ctx.Err()
+			// Skipped by cancellation before a worker claimed it. Wrap the
+			// context error so errors.Is still matches while the message
+			// names the unstarted spec.
+			results[i].Err = fmt.Errorf("crawlerbox: corpus spec %d not started: %w", specs[i].ID, ctx.Err())
+			results[i].Skipped = true
+			skipped++
 		}
+	}
+	if p.Obs != nil && skipped > 0 {
+		p.Obs.Metrics.Add("crawlerbox_corpus_skipped_total", float64(skipped))
 	}
 	return results
 }

@@ -13,6 +13,7 @@ import (
 	"crawlerbox/internal/browser"
 	"crawlerbox/internal/htmlx"
 	"crawlerbox/internal/imaging"
+	"crawlerbox/internal/obs"
 	"crawlerbox/internal/urlx"
 	"crawlerbox/internal/webnet"
 	"crawlerbox/internal/whois"
@@ -43,6 +44,12 @@ type Pipeline struct {
 	OCRMinScore float64
 	// Stages overrides the analysis chain; nil means DefaultStages().
 	Stages []Stage
+	// Obs, when non-nil, enables the deterministic observability layer:
+	// every Analyze records a per-message trace (root message span, one
+	// child span per stage, visit/request spans underneath) on the
+	// analysis's virtual clock fork, and feeds the shared metrics registry.
+	// Export via Obs.WriteJSONL / Obs.Metrics.WriteProm after the run.
+	Obs *obs.Observer
 
 	// seed feeds browsers created outside a corpus run (AddReference, the
 	// legacy AnalyzeMessage entry point). Atomic so stray concurrent use is
@@ -168,6 +175,31 @@ type CloakCensus struct {
 	TokenizedURL     bool
 }
 
+// Flags returns the names of the observed evasion techniques in fixed
+// declaration order — a stable vocabulary for span attributes and metric
+// labels, independent of how the census was populated.
+func (c *CloakCensus) Flags() []string {
+	var out []string
+	for _, kv := range []struct {
+		name string
+		on   bool
+	}{
+		{"turnstile", c.Turnstile}, {"recaptcha", c.ReCaptcha},
+		{"fingerprint-gate", c.FingerprintGate}, {"interaction-gate", c.InteractionGate},
+		{"delayed-reveal", c.DelayedReveal}, {"otp-prompt", c.OTPPrompt},
+		{"math-challenge", c.MathChallenge}, {"console-hijack", c.ConsoleHijack},
+		{"debugger-timer", c.DebuggerTimer}, {"devtools-blocking", c.DevtoolsBlocking},
+		{"hue-rotate", c.HueRotate}, {"victim-check", c.VictimCheck},
+		{"fingerprint-lib", c.FingerprintLib}, {"exfil-httpbin", c.ExfilHTTPBin},
+		{"exfil-ipapi", c.ExfilIPAPI}, {"tokenized-url", c.TokenizedURL},
+	} {
+		if kv.on {
+			out = append(out, kv.name)
+		}
+	}
+	return out
+}
+
 // ErrorKind distinguishes why a message landed in OutcomeError.
 type ErrorKind int
 
@@ -253,20 +285,102 @@ func (p *Pipeline) Analyze(ctx context.Context, spec MessageSpec) (*MessageAnaly
 		Raw:      spec.Raw,
 		Clock:    clock,
 		Analysis: &MessageAnalysis{AnalyzedAt: clock.Now()},
+		Trace:    p.Obs.NewTrace(spec.ID, clock),
 		seedBase: spec.ID,
 	}
+	root := ex.Trace.Start(obs.SpanMessage, "message "+strconv.FormatInt(spec.ID, 10))
+	ma, err := p.runStages(ctx, ex)
+	p.finishMessage(ex, root, ma, err)
+	return ma, err
+}
+
+// runStages drives the stage chain, recording one child span and one
+// stage-latency observation per Stage.Run.
+func (p *Pipeline) runStages(ctx context.Context, ex *Execution) (*MessageAnalysis, error) {
 	for _, st := range p.stages() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if err := st.Run(ctx, ex); err != nil {
-			if errors.Is(err, ErrHalt) {
-				break
-			}
+		sp := ex.Trace.Start(obs.SpanStage, st.Name())
+		err := st.Run(ctx, ex)
+		halted := errors.Is(err, ErrHalt)
+		if err != nil && !halted {
+			sp.SetStatus(obs.StatusError)
+			sp.SetAttr("error", err.Error())
+		}
+		if halted {
+			sp.SetAttr("halt", "true")
+		}
+		sp.End()
+		p.observeStage(st.Name(), sp)
+		if err != nil && !halted {
 			return nil, err
+		}
+		if halted {
+			break
 		}
 	}
 	return ex.Analysis, nil
+}
+
+// observeStage feeds the per-stage latency histogram and run counter.
+func (p *Pipeline) observeStage(name string, sp *obs.Span) {
+	if p.Obs == nil || sp == nil {
+		return
+	}
+	p.Obs.Metrics.Observe("crawlerbox_stage_ns", float64(sp.Duration()), "stage", name)
+	p.Obs.Metrics.Inc("crawlerbox_stage_runs_total", "stage", name)
+}
+
+// finishMessage annotates the root span with the outcome taxonomy (the
+// stable attribute mapping of every Outcome and ErrorKind string), feeds
+// the message metrics, and hands the completed trace to the observer.
+func (p *Pipeline) finishMessage(ex *Execution, root *obs.Span, ma *MessageAnalysis, err error) {
+	if p.Obs == nil {
+		return
+	}
+	m := p.Obs.Metrics
+	switch {
+	case err != nil:
+		root.SetStatus(obs.StatusError)
+		root.SetAttr("error", err.Error())
+		m.Inc("crawlerbox_messages_total", "outcome", "failed")
+	default:
+		root.SetStatus(outcomeSpanStatus(ma.Outcome))
+		root.SetAttr("outcome", ma.Outcome.String())
+		root.SetAttr("error_kind", ma.ErrorKind.String())
+		root.SetAttr("visits", strconv.Itoa(len(ma.Visits)))
+		if ma.SpearPhish {
+			root.SetAttr("spear_brand", ma.Brand)
+		}
+		flags := ma.Cloaks.Flags()
+		if len(flags) > 0 {
+			root.SetAttr("cloaks", strings.Join(flags, ","))
+		}
+		m.Inc("crawlerbox_messages_total", "outcome", ma.Outcome.String())
+		if ma.Outcome == OutcomeError {
+			m.Inc("crawlerbox_error_kind_total", "kind", ma.ErrorKind.String())
+		}
+		if ma.SpearPhish {
+			m.Inc("crawlerbox_spearphish_total", "brand", ma.Brand)
+		}
+		for _, f := range flags {
+			m.Inc("crawlerbox_cloak_total", "kind", f)
+		}
+		m.Add("crawlerbox_visits_total", float64(len(ma.Visits)))
+	}
+	root.End()
+	p.Obs.Collect(ex.Trace)
+}
+
+// outcomeSpanStatus maps a message outcome to its root-span status: only
+// OutcomeError (dead or broken infrastructure) marks the analysis failed;
+// every other disposition is a successful measurement.
+func outcomeSpanStatus(o Outcome) string {
+	if o == OutcomeError {
+		return obs.StatusError
+	}
+	return obs.StatusOK
 }
 
 func (p *Pipeline) stages() []Stage {

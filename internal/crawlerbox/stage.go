@@ -9,6 +9,7 @@ import (
 
 	"crawlerbox/internal/browser"
 	"crawlerbox/internal/htmlx"
+	"crawlerbox/internal/obs"
 	"crawlerbox/internal/webnet"
 )
 
@@ -51,6 +52,10 @@ type Execution struct {
 	// moves during an analysis, so concurrent analyses cannot observe each
 	// other's latency or event-loop time.
 	Clock *webnet.Clock
+	// Trace is this analysis's span buffer (nil when tracing is off — all
+	// span operations are no-ops). Browsers created through NewBrowser
+	// inherit it so visit and request spans land in the message's timeline.
+	Trace *obs.Trace
 
 	seedBase int64
 	seedSeq  int64
@@ -75,11 +80,13 @@ func (ex *Execution) NewBrowser() *browser.Browser {
 	return ex.attach(ex.Pipeline.NewBrowser(ex.nextSeed()))
 }
 
-// attach rebinds a browser's clock to the execution's fork.
+// attach rebinds a browser's clock to the execution's fork and threads the
+// execution's trace buffer into it.
 func (ex *Execution) attach(br *browser.Browser) *browser.Browser {
 	if ex.Clock != nil {
 		br.Clock = ex.Clock
 	}
+	br.Trace = ex.Trace
 	return br
 }
 

@@ -23,6 +23,7 @@ type MapRange struct{}
 // aggregate builders (report, stats), the domain census (urlx), and the
 // enrichment ledgers whose query results land in tables (webnet, whois).
 var mapRangeScope = []string{
+	"internal/obs",
 	"internal/report",
 	"internal/stats",
 	"internal/urlx",

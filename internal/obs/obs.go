@@ -1,0 +1,294 @@
+// Package obs is the deterministic observability layer of the CrawlerBox
+// reproduction: spans over stages, visits, and network requests, plus a
+// metrics registry — all timestamped from the execution's virtual
+// webnet.Clock fork, never the wall clock, so traces and metric snapshots
+// are byte-reproducible across runs and worker counts.
+//
+// The package is stdlib-only and deliberately decoupled from the rest of
+// the tree: time is injected through the small Clock interface (satisfied
+// by *webnet.Clock), so webnet, browser, and crawlerbox can all depend on
+// obs without a cycle.
+//
+// Every entry point is nil-safe: methods on a nil *Trace, *Span, *Registry,
+// or *Observer are no-ops. Instrumentation sites therefore never branch on
+// "is tracing enabled" — with observability off the whole layer costs a nil
+// check per site, which keeps the tracing-off pipeline throughput within
+// noise of the uninstrumented baseline.
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Clock is the virtual time source spans read. *webnet.Clock satisfies it.
+type Clock interface {
+	Now() time.Time
+}
+
+// SpanKind classifies a span by the pipeline layer that produced it.
+type SpanKind int
+
+// Span kinds, one per instrumented layer.
+const (
+	// SpanMessage is the root span of one message analysis.
+	SpanMessage SpanKind = iota + 1
+	// SpanStage covers one Stage.Run of the pipeline chain.
+	SpanStage
+	// SpanVisit covers one browser navigation (Visit or LoadHTML).
+	SpanVisit
+	// SpanRequest covers one webnet HTTP round trip.
+	SpanRequest
+	// SpanDNS covers one DNS resolution inside a round trip.
+	SpanDNS
+)
+
+// String names the kind (the JSONL "kind" field).
+func (k SpanKind) String() string {
+	switch k {
+	case SpanMessage:
+		return "message"
+	case SpanStage:
+		return "stage"
+	case SpanVisit:
+		return "visit"
+	case SpanRequest:
+		return "request"
+	case SpanDNS:
+		return "dns"
+	default:
+		return "unknown"
+	}
+}
+
+// KindFromString is the inverse of SpanKind.String (0 for unknown names).
+func KindFromString(s string) SpanKind {
+	for k := SpanMessage; k <= SpanDNS; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return 0
+}
+
+// Span statuses.
+const (
+	// StatusOK marks a span that completed normally.
+	StatusOK = "ok"
+	// StatusError marks a span whose operation failed.
+	StatusError = "error"
+)
+
+// Attr is one key-value span attribute.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one timed operation inside a trace. A span is owned by the
+// goroutine running its analysis (analyses are single-goroutine by
+// construction), so its fields need no lock; the owning Trace serializes
+// the shared span list and parent stack.
+//
+// Determinism contract for instrumentation sites: span names and attribute
+// values must never embed schedule-dependent state — allocated client IPs,
+// issued challenge tokens, raw query strings that may carry either. Record
+// scheme+host+path (see SanitizeURL), statuses, byte counts, and virtual
+// timestamps only.
+type Span struct {
+	// ID is the 1-based creation ordinal within the trace.
+	ID int
+	// Parent is the enclosing span's ID (0 for the root).
+	Parent int
+	// Kind is the pipeline layer that produced the span.
+	Kind SpanKind
+	// Name labels the operation (stage name, sanitized URL, ...).
+	Name string
+	// StartTime / EndTime are virtual timestamps from the trace clock.
+	StartTime time.Time
+	EndTime   time.Time
+	// Status is StatusOK or StatusError.
+	Status string
+	// Attrs are the key-value annotations, in append order.
+	Attrs []Attr
+
+	tr *Trace
+}
+
+// SetAttr appends a key-value attribute. No-op on a nil span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetStatus overrides the span status. No-op on a nil span.
+func (s *Span) SetStatus(status string) {
+	if s == nil {
+		return
+	}
+	s.Status = status
+}
+
+// End closes the span at the trace clock's current virtual time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.EndAt(s.tr.now())
+}
+
+// EndAt closes the span at an explicit virtual time. webnet uses it to
+// attribute request latency to the per-request clock override rather than
+// the shared network clock.
+func (s *Span) EndAt(at time.Time) {
+	if s == nil {
+		return
+	}
+	s.EndTime = at
+	s.tr.pop(s)
+}
+
+// Duration is the span's virtual-time extent.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.EndTime.Sub(s.StartTime)
+}
+
+// AttrValue returns the last value recorded for key ("" when absent).
+func (s *Span) AttrValue(key string) string {
+	if s == nil {
+		return ""
+	}
+	for i := len(s.Attrs) - 1; i >= 0; i-- {
+		if s.Attrs[i].Key == key {
+			return s.Attrs[i].Value
+		}
+	}
+	return ""
+}
+
+// Trace is the span buffer of one message analysis. Span IDs are assigned
+// in creation order from a per-trace counter, and parent links come from a
+// stack of open spans — both deterministic because each analysis runs on a
+// single goroutine. The mutex makes the buffer safe for the cross-goroutine
+// hand-off to the Observer and for defensive concurrent use.
+type Trace struct {
+	id    int64
+	clock Clock
+
+	mu     sync.Mutex
+	spans  []*Span // guarded by mu
+	stack  []*Span // guarded by mu
+	nextID int     // guarded by mu
+}
+
+// NewTrace returns an empty trace reading virtual time from clock. The id
+// must be unique within one export (corpus runners key it by MessageSpec.ID)
+// because exports merge trace buffers in id order.
+func NewTrace(id int64, clock Clock) *Trace {
+	return &Trace{id: id, clock: clock}
+}
+
+// ID returns the trace identifier.
+func (t *Trace) ID() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// now reads the trace clock (zero time without one).
+func (t *Trace) now() time.Time {
+	if t == nil || t.clock == nil {
+		return time.Time{}
+	}
+	return t.clock.Now()
+}
+
+// Start opens a span at the trace clock's current virtual time, parented to
+// the innermost open span. Returns nil (a no-op span) on a nil trace.
+func (t *Trace) Start(kind SpanKind, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.StartAt(kind, name, t.now())
+}
+
+// StartAt is Start with an explicit virtual start time.
+func (t *Trace) StartAt(kind SpanKind, name string, at time.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	s := &Span{
+		ID:        t.nextID,
+		Kind:      kind,
+		Name:      name,
+		StartTime: at,
+		Status:    StatusOK,
+		tr:        t,
+	}
+	if len(t.stack) > 0 {
+		s.Parent = t.stack[len(t.stack)-1].ID
+	}
+	t.spans = append(t.spans, s)
+	t.stack = append(t.stack, s)
+	return s
+}
+
+// pop removes s from the open-span stack (topmost occurrence), tolerating
+// out-of-order ends.
+func (t *Trace) pop(s *Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s {
+			t.stack = append(t.stack[:i], t.stack[i+1:]...)
+			return
+		}
+	}
+}
+
+// Spans returns the recorded spans in creation (ID) order.
+func (t *Trace) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// SanitizeURL reduces a URL to scheme://host/path, dropping the query and
+// fragment. Span names and attributes must use it for any URL that flowed
+// through the live world: query strings can carry schedule-dependent state
+// (issued challenge tokens), and recording them would break the
+// byte-identical-across-worker-counts trace guarantee.
+func SanitizeURL(raw string) string {
+	if i := strings.IndexAny(raw, "?#"); i >= 0 {
+		return raw[:i]
+	}
+	return raw
+}
+
+// sortedAttrs returns a copy of attrs sorted by key (stable, so for
+// duplicate keys append order decides).
+func sortedAttrs(attrs []Attr) []Attr {
+	out := make([]Attr, len(attrs))
+	copy(out, attrs)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Observer bundles the two sinks of one observed run: completed per-message
+// trace buffers and the shared metrics registry. A single Observer is
+// shared by every corpus worker; Collect is the cross-goroutine hand-off
+// point, and the export methods merge the buffers in trace-ID (spec) order
+// so concurrent runs emit identical timelines.
+//
+// All methods are no-ops on a nil *Observer.
+type Observer struct {
+	// Metrics is the run's shared metrics registry.
+	Metrics *Registry
+
+	mu     sync.Mutex
+	traces []*Trace // guarded by mu
+}
+
+// New returns an Observer with a fresh metrics registry.
+func New() *Observer {
+	return &Observer{Metrics: NewRegistry()}
+}
+
+// NewTrace creates a trace buffer for one analysis. Returns nil (the no-op
+// trace) on a nil Observer, so callers can thread the result unconditionally.
+func (o *Observer) NewTrace(id int64, clock Clock) *Trace {
+	if o == nil {
+		return nil
+	}
+	return NewTrace(id, clock)
+}
+
+// Collect stores a completed trace and feeds the span census counters
+// (obs_traces_total, obs_spans_total, obs_spans_total{kind}).
+func (o *Observer) Collect(t *Trace) {
+	if o == nil || t == nil {
+		return
+	}
+	spans := t.Spans()
+	o.Metrics.Inc("obs_traces_total")
+	o.Metrics.Add("obs_spans_total", float64(len(spans)))
+	for _, s := range spans {
+		o.Metrics.Inc("obs_spans_by_kind_total", "kind", s.Kind.String())
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.traces = append(o.traces, t)
+}
+
+// Traces returns the collected traces sorted by trace ID — the merge in
+// spec order that makes exports schedule-independent. Trace IDs must be
+// unique per run (corpus runners key them by MessageSpec.ID).
+func (o *Observer) Traces() []*Trace {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	out := make([]*Trace, len(o.traces))
+	copy(out, o.traces)
+	o.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// WriteJSONL writes the collected traces as sorted JSONL.
+func (o *Observer) WriteJSONL(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	return WriteJSONL(w, o.Traces())
+}
+
+// spanRecord is the JSONL wire form of one span. Attrs marshal as a JSON
+// object — encoding/json emits map keys sorted, so lines are byte-stable.
+type spanRecord struct {
+	Trace  int64             `json:"trace"`
+	Span   int               `json:"span"`
+	Parent int               `json:"parent,omitempty"`
+	Kind   string            `json:"kind"`
+	Name   string            `json:"name"`
+	Start  int64             `json:"start"`
+	End    int64             `json:"end"`
+	Status string            `json:"status"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// WriteJSONL writes one span per line: traces in the given order (callers
+// pass them sorted by ID), spans in creation order, attributes sorted by
+// key. Timestamps are virtual-time UnixNano, so the file is golden-testable.
+func WriteJSONL(w io.Writer, traces []*Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, t := range traces {
+		for _, s := range t.Spans() {
+			rec := spanRecord{
+				Trace:  t.ID(),
+				Span:   s.ID,
+				Parent: s.Parent,
+				Kind:   s.Kind.String(),
+				Name:   s.Name,
+				Start:  s.StartTime.UnixNano(),
+				End:    s.EndTime.UnixNano(),
+				Status: s.Status,
+			}
+			if len(s.Attrs) > 0 {
+				rec.Attrs = make(map[string]string, len(s.Attrs))
+				for _, a := range sortedAttrs(s.Attrs) {
+					rec.Attrs[a.Key] = a.Value
+				}
+			}
+			if err := enc.Encode(&rec); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace stream back into traces sorted by ID,
+// spans in span-ID order — the inverse of WriteJSONL, used by obsreport and
+// the golden tests. Parsed traces carry no clock; they are read-only.
+func ReadJSONL(r io.Reader) ([]*Trace, error) {
+	byID := map[int64]*Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec spanRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		t := byID[rec.Trace]
+		if t == nil {
+			t = &Trace{id: rec.Trace}
+			byID[rec.Trace] = t
+		}
+		s := &Span{
+			ID:        rec.Span,
+			Parent:    rec.Parent,
+			Kind:      KindFromString(rec.Kind),
+			Name:      rec.Name,
+			StartTime: unixNano(rec.Start),
+			EndTime:   unixNano(rec.End),
+			Status:    rec.Status,
+			tr:        t,
+		}
+		attrKeys := make([]string, 0, len(rec.Attrs))
+		for k := range rec.Attrs {
+			attrKeys = append(attrKeys, k)
+		}
+		sort.Strings(attrKeys)
+		for _, k := range attrKeys {
+			s.Attrs = append(s.Attrs, Attr{Key: k, Value: rec.Attrs[k]})
+		}
+		t.spans = append(t.spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	ids := make([]int64, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*Trace, 0, len(ids))
+	for _, id := range ids {
+		t := byID[id]
+		sort.SliceStable(t.spans, func(i, j int) bool { return t.spans[i].ID < t.spans[j].ID })
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// unixNano converts a virtual UnixNano back to a UTC time.
+func unixNano(ns int64) time.Time {
+	return time.Unix(0, ns).UTC()
+}

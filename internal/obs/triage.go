@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file renders the trace-driven triage views consumed by
+// cmd/obsreport: the corpus-level stage-latency table (p50/p95 in virtual
+// nanoseconds), the per-message critical path, and the indented span tree
+// ("flame summary") an analyst reads to answer "why was message X marked
+// cloaked and where did its 3 seconds go?". Everything is computed from the
+// JSONL alone — no live pipeline state.
+
+// StageStat summarizes one stage's latency distribution across a corpus.
+type StageStat struct {
+	Stage string
+	Runs  int
+	// P50 / P95 / Max / Total are virtual-time durations.
+	P50   time.Duration
+	P95   time.Duration
+	Max   time.Duration
+	Total time.Duration
+}
+
+// StageStats aggregates every SpanStage span across the traces, sorted by
+// descending total virtual time (the triage order: where did time go).
+func StageStats(traces []*Trace) []StageStat {
+	byStage := map[string][]time.Duration{}
+	for _, t := range traces {
+		for _, s := range t.Spans() {
+			if s.Kind == SpanStage {
+				byStage[s.Name] = append(byStage[s.Name], s.Duration())
+			}
+		}
+	}
+	names := make([]string, 0, len(byStage))
+	for name := range byStage {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]StageStat, 0, len(names))
+	for _, name := range names {
+		durs := byStage[name]
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		st := StageStat{
+			Stage: name,
+			Runs:  len(durs),
+			P50:   percentile(durs, 50),
+			P95:   percentile(durs, 95),
+			Max:   durs[len(durs)-1],
+		}
+		for _, d := range durs {
+			st.Total += d
+		}
+		out = append(out, st)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+// percentile returns the p-th percentile of ascending-sorted durations
+// (nearest-rank method, deterministic).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// RenderStageTable renders the corpus-level stage-latency table.
+func RenderStageTable(traces []*Trace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Stage latency (virtual time, %d traces)\n", len(traces))
+	fmt.Fprintf(&b, "%-10s %6s %12s %12s %12s %12s\n", "stage", "runs", "p50(ns)", "p95(ns)", "max(ns)", "total")
+	for _, st := range StageStats(traces) {
+		fmt.Fprintf(&b, "%-10s %6d %12d %12d %12d %12s\n",
+			st.Stage, st.Runs, st.P50.Nanoseconds(), st.P95.Nanoseconds(),
+			st.Max.Nanoseconds(), st.Total)
+	}
+	return b.String()
+}
+
+// RenderOutcomes tallies the root-span outcome attributes — the corpus
+// disposition as the trace recorded it.
+func RenderOutcomes(traces []*Trace) string {
+	counts := map[string]int{}
+	for _, t := range traces {
+		if root := Root(t); root != nil {
+			out := root.AttrValue("outcome")
+			if out == "" {
+				out = "(failed)"
+			}
+			counts[out]++
+		}
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("Outcomes\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-22s %6d\n", k, counts[k])
+	}
+	return b.String()
+}
+
+// Root returns the trace's root span (nil parent link), or nil.
+func Root(t *Trace) *Span {
+	for _, s := range t.Spans() {
+		if s.Parent == 0 {
+			return s
+		}
+	}
+	return nil
+}
+
+// children maps parent span ID to child spans in creation order.
+func children(t *Trace) map[int][]*Span {
+	m := map[int][]*Span{}
+	for _, s := range t.Spans() {
+		if s.Parent != 0 {
+			m[s.Parent] = append(m[s.Parent], s)
+		}
+	}
+	return m
+}
+
+// CriticalPath returns the chain from the root to a leaf, descending into
+// the longest child at every level — the spans that dominated the
+// message's virtual wall time.
+func CriticalPath(t *Trace) []*Span {
+	root := Root(t)
+	if root == nil {
+		return nil
+	}
+	kids := children(t)
+	path := []*Span{root}
+	cur := root
+	for {
+		var longest *Span
+		for _, c := range kids[cur.ID] {
+			if longest == nil || c.Duration() > longest.Duration() {
+				longest = c
+			}
+		}
+		if longest == nil {
+			return path
+		}
+		path = append(path, longest)
+		cur = longest
+	}
+}
+
+// RenderCriticalPath renders a trace's critical path as one arrowed line.
+func RenderCriticalPath(t *Trace) string {
+	var parts []string
+	for _, s := range CriticalPath(t) {
+		parts = append(parts, fmt.Sprintf("%s %q (%s)", s.Kind, s.Name, s.Duration()))
+	}
+	return strings.Join(parts, "\n  -> ")
+}
+
+// RenderTree renders a trace's span tree — the flame summary: each span
+// indented under its parent with kind, duration, status, and attributes.
+func RenderTree(t *Trace) string {
+	var b strings.Builder
+	kids := children(t)
+	root := Root(t)
+	if root == nil {
+		return ""
+	}
+	renderSpan(&b, root, kids, 0)
+	return b.String()
+}
+
+func renderSpan(b *strings.Builder, s *Span, kids map[int][]*Span, depth int) {
+	fmt.Fprintf(b, "%s%-8s %-42s %12s", strings.Repeat("  ", depth), s.Kind, clip(s.Name, 42), s.Duration())
+	if s.Status != StatusOK && s.Status != "" {
+		fmt.Fprintf(b, "  !%s", s.Status)
+	}
+	if attrs := renderAttrs(s.Attrs); attrs != "" {
+		fmt.Fprintf(b, "  [%s]", attrs)
+	}
+	b.WriteByte('\n')
+	for _, c := range kids[s.ID] {
+		renderSpan(b, c, kids, depth+1)
+	}
+}
+
+// renderAttrs renders attributes sorted by key as k=v pairs.
+func renderAttrs(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(attrs))
+	for _, a := range sortedAttrs(attrs) {
+		parts = append(parts, a.Key+"="+a.Value)
+	}
+	return strings.Join(parts, " ")
+}
+
+// clip truncates long names with an ellipsis marker.
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}
+
+// SlowestTraces returns up to k traces by descending root-span duration,
+// ties broken by ascending trace ID.
+func SlowestTraces(traces []*Trace, k int) []*Trace {
+	out := append([]*Trace(nil), traces...)
+	sort.SliceStable(out, func(i, j int) bool {
+		di, dj := Root(out[i]).Duration(), Root(out[j]).Duration()
+		if di != dj {
+			return di > dj
+		}
+		return out[i].ID() < out[j].ID()
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

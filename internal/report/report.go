@@ -25,6 +25,7 @@ import (
 	"crawlerbox/internal/crawlerbox"
 	"crawlerbox/internal/dataset"
 	"crawlerbox/internal/htmlx"
+	"crawlerbox/internal/obs"
 	"crawlerbox/internal/stats"
 	"crawlerbox/internal/urlx"
 	"crawlerbox/internal/webnet"
@@ -59,7 +60,21 @@ func Analyze(c *dataset.Corpus) (*Run, error) {
 // identical for every worker count. The context cancels the run; messages
 // not yet analyzed at cancellation are counted in Run.Errors.
 func AnalyzeParallel(ctx context.Context, c *dataset.Corpus, workers int) (*Run, error) {
+	return AnalyzeParallelObserved(ctx, c, workers, nil)
+}
+
+// AnalyzeParallelObserved is AnalyzeParallel with observability wired in:
+// the pipeline records a trace per message and the corpus network feeds the
+// observer's metrics registry. A nil observer disables both (identical to
+// AnalyzeParallel). Because span timelines read each analysis's private
+// clock fork and metrics use only commutative operations, the observer's
+// exports are byte-identical for every worker count.
+func AnalyzeParallelObserved(ctx context.Context, c *dataset.Corpus, workers int, o *obs.Observer) (*Run, error) {
 	pipe := crawlerbox.New(c.Net, c.Registry)
+	if o != nil {
+		pipe.Obs = o
+		c.Net.Metrics = o.Metrics
+	}
 	brands := make([]string, 0, len(c.BrandURLs))
 	for b := range c.BrandURLs {
 		brands = append(brands, b)

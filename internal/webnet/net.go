@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"crawlerbox/internal/obs"
 )
 
 // IPClass is the provenance class of an IP address — the attribute
@@ -83,6 +86,11 @@ type Request struct {
 	// Internet's shared clock. Concurrent analyses each carry their own
 	// forked clock so round trips in one never advance time in another.
 	Clock *Clock
+	// Trace, when set, records a request span (plus a nested DNS span) for
+	// this round trip. Span timestamps read the same clock the latency is
+	// charged to — the per-request Clock override when present — so a
+	// forked-clock visit's span timeline matches its analysis baseline.
+	Trace *obs.Trace
 }
 
 // Header returns a request header (case-insensitive).
@@ -139,6 +147,13 @@ type Handler func(*Request) *Response
 // Internet is the simulated network fabric.
 type Internet struct {
 	Clock *Clock
+	// Metrics, when set, receives per-request counters and latency
+	// histograms (webnet_requests_total, webnet_response_bytes_total,
+	// webnet_dns_queries_total, webnet_request_latency_ns, ...). Wire it
+	// before traffic flows and leave it in place: every write is a
+	// commutative add, so the exported snapshot is identical for any
+	// worker interleaving.
+	Metrics *obs.Registry
 
 	mu         sync.Mutex
 	dns        map[string]string         // guarded by mu
@@ -469,7 +484,9 @@ func (n *Internet) Do(req *Request) (*Response, error) {
 
 // DoCtx is Do with cancellation: the round trip is abandoned before DNS
 // resolution when ctx is done. Latency is charged to req.Clock when the
-// request carries one, otherwise to the shared clock.
+// request carries one, otherwise to the shared clock — and the request
+// span's timeline reads that same clock, so forked-clock visits trace on
+// their own analysis timeline, never the Internet's.
 func (n *Internet) DoCtx(ctx context.Context, req *Request) (*Response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -479,28 +496,73 @@ func (n *Internet) DoCtx(ctx context.Context, req *Request) (*Response, error) {
 	if req.Clock != nil {
 		clock = req.Clock
 	}
+	// Span names record method + host + path only: query strings can carry
+	// schedule-dependent tokens, which would break trace determinism.
+	span := req.Trace.StartAt(obs.SpanRequest, req.Method+" https://"+req.Host+req.Path, clock.Now())
+	n.Metrics.Inc("webnet_dns_queries_total")
+	dns := req.Trace.StartAt(obs.SpanDNS, "resolve "+req.Host, clock.Now())
 	if _, err := n.resolveAt(req.Host, req.ClientIP, clock.Now()); err != nil {
+		n.finishSpan(dns, clock, "nxdomain")
+		n.finishSpan(span, clock, "nxdomain")
 		return nil, err
 	}
+	n.finishSpan(dns, clock, "")
 	n.mu.Lock()
 	handler, ok := n.servers[req.Host]
 	latency := n.RequestLatency
 	n.mu.Unlock()
 	clock.Advance(latency)
+	n.Metrics.Observe("webnet_request_latency_ns", float64(latency))
 	if !ok {
 		n.logExchange(req, 0, clock.Now())
+		n.finishSpan(span, clock, "unreachable")
 		return nil, fmt.Errorf("connecting to %q: %w", req.Host, ErrUnreachable)
 	}
 	resp := handler(req)
 	if resp == nil {
 		n.logExchange(req, 0, clock.Now())
+		n.finishSpan(span, clock, "timeout")
 		return nil, fmt.Errorf("waiting for %q: %w", req.Host, ErrTimeout)
 	}
 	if resp.Headers == nil {
 		resp.Headers = map[string]string{}
 	}
 	n.logExchange(req, resp.Status, clock.Now())
+	n.Metrics.Inc("webnet_requests_total", "status", statusClass(resp.Status))
+	n.Metrics.Add("webnet_response_bytes_total", float64(len(resp.Body)))
+	if span != nil {
+		span.SetAttr("status", strconv.Itoa(resp.Status))
+		span.SetAttr("bytes", strconv.Itoa(len(resp.Body)))
+		span.EndAt(clock.Now())
+	}
 	return resp, nil
+}
+
+// finishSpan closes a span on the request's clock; a non-empty errKind
+// marks it failed and feeds the error counter. Safe on nil spans.
+func (n *Internet) finishSpan(span *obs.Span, clock *Clock, errKind string) {
+	if errKind != "" {
+		n.Metrics.Inc("webnet_request_errors_total", "kind", errKind)
+		span.SetStatus(obs.StatusError)
+		span.SetAttr("error", errKind)
+	}
+	span.EndAt(clock.Now())
+}
+
+// statusClass buckets an HTTP status for low-cardinality metric labels.
+func statusClass(status int) string {
+	switch {
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	case status >= 300:
+		return "3xx"
+	case status >= 200:
+		return "2xx"
+	default:
+		return "other"
+	}
 }
 
 func (n *Internet) logExchange(req *Request, status int, at time.Time) {
