@@ -4,7 +4,7 @@ GO ?= go
 # benchmark so BENCH_$(PR).json carries mean/min/max per metric.
 BENCHTIME ?= 0.2s
 BENCHCOUNT ?= 5
-PR ?= 4
+PR ?= 5
 
 .PHONY: check build vet lint test race bench benchquick tracecheck
 
@@ -23,7 +23,8 @@ vet:
 	$(GO) vet ./...
 
 # lint runs cblint, the stdlib-only invariant linter (determinism, maprange,
-# ctxflow, guarded — see `go run ./cmd/cblint -list` and DESIGN.md §9).
+# ctxflow, guarded, resilience — see `go run ./cmd/cblint -list` and
+# DESIGN.md §9).
 lint:
 	$(GO) run ./cmd/cblint ./...
 
@@ -37,13 +38,14 @@ race:
 benchquick:
 	$(GO) test -run='^$$' -bench=BenchmarkPipelineThroughput -benchtime=1x .
 
-# tracecheck replays the example corpus with tracing on and diffs both
-# exports against the committed goldens (testdata/tracecheck.golden.*):
-# the executable proof that span timelines and metrics are byte-reproducible.
+# tracecheck replays the example corpus with tracing and 10% fault injection
+# on, and diffs both exports against the committed goldens
+# (testdata/tracecheck.golden.*): the executable proof that span timelines,
+# metrics, and the seeded fault/retry schedule are byte-reproducible.
 # Regenerate the goldens by running the same command against testdata/.
 tracecheck:
 	@tmp=$$(mktemp -d) && \
-	$(GO) run ./cmd/crawlerbox -n 8 -workers 4 \
+	$(GO) run ./cmd/crawlerbox -n 8 -workers 4 -faults 0.1 \
 		-trace $$tmp/trace.jsonl -metrics $$tmp/metrics.prom > /dev/null && \
 	diff -u testdata/tracecheck.golden.jsonl $$tmp/trace.jsonl && \
 	diff -u testdata/tracecheck.golden.prom $$tmp/metrics.prom && \

@@ -35,7 +35,7 @@ func benchRun(b *testing.B) *report.Run {
 			_benchErr = err
 			return
 		}
-		_benchRun, _benchErr = report.Analyze(c)
+		_benchRun, _benchErr = report.Analyze(context.Background(), c)
 	})
 	if _benchErr != nil {
 		b.Fatal(_benchErr)

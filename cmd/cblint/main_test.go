@@ -76,7 +76,7 @@ func TestListPrintsRegistry(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"determinism", "maprange", "ctxflow", "guarded"} {
+	for _, name := range []string{"determinism", "maprange", "ctxflow", "guarded", "resilience"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
 		}

@@ -8,11 +8,14 @@
 // Usage:
 //
 //	crawlerbox [-dir DIR] [-seed N] [-scale F] [-n N] [-workers N]
-//	           [-trace FILE] [-metrics FILE]
+//	           [-trace FILE] [-metrics FILE] [-faults F] [-retry-max N]
+//	           [-breaker-threshold N]
 //
 // -trace writes one JSONL span record per line (virtual-time timestamps,
 // byte-identical for any -workers value); -metrics writes a Prometheus text
-// dump. Render either with cmd/obsreport.
+// dump. Render either with cmd/obsreport. -faults injects seeded transient
+// network faults recovered through virtual-clock retries and per-host
+// circuit breakers (tune with -retry-max and -breaker-threshold).
 package main
 
 import (
@@ -21,14 +24,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sort"
 	"strings"
 	"time"
 
+	"crawlerbox/internal/climain"
 	"crawlerbox/internal/crawlerbox"
 	"crawlerbox/internal/dataset"
-	"crawlerbox/internal/obs"
 	"crawlerbox/internal/phishkit"
 )
 
@@ -44,9 +46,7 @@ func run() error {
 	seed := flag.Int64("seed", 42, "world/corpus seed (must match mkdataset for -dir)")
 	scale := flag.Float64("scale", 0.1, "world/corpus scale (must match mkdataset for -dir)")
 	limit := flag.Int("n", 10, "maximum messages to analyze (0 = all)")
-	workers := flag.Int("workers", runtime.NumCPU(), "analysis worker-pool size (results are identical for any value)")
-	tracePath := flag.String("trace", "", "write per-message trace spans as JSONL to FILE")
-	metricsPath := flag.String("metrics", "", "write metrics as Prometheus text to FILE")
+	shared := climain.Register(flag.CommandLine)
 	flag.Parse()
 
 	corpus, err := dataset.Generate(dataset.Config{Seed: *seed, Scale: *scale})
@@ -54,12 +54,12 @@ func run() error {
 		return err
 	}
 	pipe := crawlerbox.New(corpus.Net, corpus.Registry)
-	var observer *obs.Observer
-	if *tracePath != "" || *metricsPath != "" {
-		observer = obs.New()
+	observer := shared.Observer()
+	if observer != nil {
 		pipe.Obs = observer
 		corpus.Net.Metrics = observer.Metrics
 	}
+	pipe.Resilience = shared.Policy()
 	for _, b := range phishkit.StudyBrands {
 		if err := pipe.AddReference(context.Background(), b.Name, corpus.BrandURLs[b.Name]); err != nil {
 			return err
@@ -104,7 +104,7 @@ func run() error {
 	for i, raw := range messages {
 		specs[i] = crawlerbox.MessageSpec{Raw: raw, ID: int64(i + 1)}
 	}
-	for i, res := range pipe.AnalyzeCorpus(context.Background(), specs, *workers) {
+	for i, res := range pipe.AnalyzeCorpus(context.Background(), specs, *shared.Workers) {
 		if res.Err != nil {
 			fmt.Printf("%-16s ERROR %v\n", names[i], res.Err)
 			continue
@@ -125,42 +125,7 @@ func run() error {
 		}
 		fmt.Println(line)
 	}
-	return writeObservability(observer, *tracePath, *metricsPath)
-}
-
-// writeObservability dumps the observer's trace JSONL and Prometheus text
-// exports to the requested files. A nil observer writes nothing.
-func writeObservability(o *obs.Observer, tracePath, metricsPath string) error {
-	if o == nil {
-		return nil
-	}
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
-			return err
-		}
-		if err := o.WriteJSONL(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-	}
-	if metricsPath != "" {
-		f, err := os.Create(metricsPath)
-		if err != nil {
-			return err
-		}
-		if err := o.Metrics.WriteProm(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return shared.WriteExports(observer)
 }
 
 func cloakSummary(ma *crawlerbox.MessageAnalysis) string {

@@ -58,6 +58,9 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "Trace corpus: %d messages, %d spans\n\n", len(traces), spans)
 	fmt.Fprintln(w, obs.RenderStageTable(traces))
 	fmt.Fprintln(w, obs.RenderOutcomes(traces))
+	if fr := obs.RenderFaultRecovery(traces); fr != "" {
+		fmt.Fprintln(w, fr)
+	}
 
 	if *top > 0 {
 		fmt.Fprintf(w, "Slowest %d messages (critical path)\n", *top)

@@ -7,11 +7,12 @@ import (
 	"testing"
 )
 
-// TestReportGolden pins the rendered triage report for a recorded trace
-// (crawlerbox -seed 42 -scale 0.1 -n 8 -trace ...). Regenerate both files
+// TestReportGolden pins the rendered triage report — including the
+// fault-recovery table — for a recorded fault-injected trace (crawlerbox
+// -seed 42 -scale 0.1 -n 8 -faults 0.1 -trace ...). Regenerate both files
 // with:
 //
-//	go run ./cmd/crawlerbox -n 8 -workers 4 -trace cmd/obsreport/testdata/trace.jsonl > /dev/null
+//	go run ./cmd/crawlerbox -n 8 -workers 4 -faults 0.1 -trace cmd/obsreport/testdata/trace.jsonl > /dev/null
 //	go run ./cmd/obsreport -top 3 -msg 2 cmd/obsreport/testdata/trace.jsonl > cmd/obsreport/testdata/report.golden
 func TestReportGolden(t *testing.T) {
 	want, err := os.ReadFile("testdata/report.golden")

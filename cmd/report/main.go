@@ -5,13 +5,17 @@
 // Usage:
 //
 //	report [-seed N] [-scale F] [-workers N] [-only table1|table2|fig2|fig3|disposition|spear|nontargeted|cloaks]
-//	       [-trace FILE] [-metrics FILE]
+//	       [-trace FILE] [-metrics FILE] [-faults F] [-retry-max N] [-breaker-threshold N]
 //
 // At -scale 1.0 (the default) the corpus holds 5,181 messages and the full
 // run takes a few seconds. -workers parallelizes the per-message analysis;
 // the aggregates are bitwise identical for every worker count — as are the
 // -trace JSONL and -metrics Prometheus dumps, which record the corpus
-// analysis on the virtual clock (render them with cmd/obsreport).
+// analysis on the virtual clock (render them with cmd/obsreport). -faults
+// injects seeded transient network faults (NXDOMAIN flaps, resets, slow
+// starts, 5xx bursts) recovered through virtual-clock retries and per-host
+// circuit breakers; messages the recovery layer gave up on land in the
+// partial-evidence disposition row.
 package main
 
 import (
@@ -19,11 +23,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
+	"crawlerbox/internal/climain"
 	"crawlerbox/internal/crawler"
 	"crawlerbox/internal/dataset"
-	"crawlerbox/internal/obs"
 	"crawlerbox/internal/report"
 )
 
@@ -37,10 +40,8 @@ func main() {
 func run() error {
 	seed := flag.Int64("seed", 42, "corpus generation seed")
 	scale := flag.Float64("scale", 1.0, "corpus scale (1.0 = 5,181 messages)")
-	workers := flag.Int("workers", runtime.NumCPU(), "analysis worker-pool size (results are identical for any value)")
 	only := flag.String("only", "", "print a single artifact: table1|table2|fig2|fig3|disposition|spear|nontargeted|cloaks")
-	tracePath := flag.String("trace", "", "write per-message trace spans as JSONL to FILE")
-	metricsPath := flag.String("metrics", "", "write metrics as Prometheus text to FILE")
+	shared := climain.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *only == "table1" || *only == "" {
@@ -60,16 +61,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Analyzing %d messages with CrawlerBox (%d workers)...\n\n", len(c.Messages), *workers)
-	var observer *obs.Observer
-	if *tracePath != "" || *metricsPath != "" {
-		observer = obs.New()
-	}
-	run, err := report.AnalyzeParallelObserved(context.Background(), c, *workers, observer)
+	fmt.Printf("Analyzing %d messages with CrawlerBox (%d workers)...\n\n", len(c.Messages), *shared.Workers)
+	observer := shared.Observer()
+	run, err := report.Analyze(context.Background(), c,
+		report.WithWorkers(*shared.Workers),
+		report.WithObserver(observer),
+		report.WithResilience(shared.Policy()))
 	if err != nil {
 		return err
 	}
-	if err := writeObservability(observer, *tracePath, *metricsPath); err != nil {
+	if err := shared.WriteExports(observer); err != nil {
 		return err
 	}
 
@@ -90,41 +91,6 @@ func run() error {
 			continue
 		}
 		fmt.Println(a.text())
-	}
-	return nil
-}
-
-// writeObservability dumps the observer's trace JSONL and Prometheus text
-// exports to the requested files. A nil observer writes nothing.
-func writeObservability(o *obs.Observer, tracePath, metricsPath string) error {
-	if o == nil {
-		return nil
-	}
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
-			return err
-		}
-		if err := o.WriteJSONL(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-	}
-	if metricsPath != "" {
-		f, err := os.Create(metricsPath)
-		if err != nil {
-			return err
-		}
-		if err := o.Metrics.WriteProm(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
 	}
 	return nil
 }

@@ -92,14 +92,15 @@ func GenerateCorpus(seed int64, scale float64) (*dataset.Corpus, error) {
 // AnalyzeCorpus runs the full pipeline over a corpus serially and returns
 // the aggregated run (tables, figures, censuses).
 func AnalyzeCorpus(c *dataset.Corpus) (*report.Run, error) {
-	return report.Analyze(c)
+	//cblint:ignore ctxflow AnalyzeCorpus is the documented no-cancellation serial entry point
+	return report.Analyze(context.Background(), c)
 }
 
 // AnalyzeCorpusParallel is AnalyzeCorpus with a bounded worker pool and
 // cancellation. The aggregated run is bitwise identical for any worker
 // count (see the pipeline's determinism guarantee in DESIGN.md).
 func AnalyzeCorpusParallel(ctx context.Context, c *dataset.Corpus, workers int) (*report.Run, error) {
-	return report.AnalyzeParallel(ctx, c, workers)
+	return report.Analyze(ctx, c, report.WithWorkers(workers))
 }
 
 // RunTable1 reproduces the Table I crawler-vs-detector assessment.

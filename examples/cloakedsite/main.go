@@ -41,7 +41,7 @@ func run() error {
 	fmt.Println()
 
 	// 1. A curl-style scanner: no JavaScript at all.
-	resp, err := net.Do(&webnet.Request{
+	resp, err := net.Do(context.Background(), &webnet.Request{
 		Method: "GET", Host: "onedrive-share-docs.click", Path: "/login",
 		RawQuery: "t=dhfYWfH",
 		Headers:  map[string]string{"User-Agent": "curl/8.5", "Accept-Language": "en"},

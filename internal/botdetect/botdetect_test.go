@@ -303,7 +303,7 @@ func TestAnonWAFAllowsChromedriverArtifacts(t *testing.T) {
 func TestAnonWAFInterstitialBlocksNoJS(t *testing.T) {
 	w := newWorld(t)
 	// A no-JS client: simulate by direct webnet request (no browser).
-	resp, err := w.net.Do(&webnet.Request{
+	resp, err := w.net.Do(context.Background(), &webnet.Request{
 		Method: "GET", Host: "secret.example", Path: "/",
 		Headers: map[string]string{
 			"User-Agent":      "curl/8.0",

@@ -14,6 +14,7 @@ import (
 	"crawlerbox/internal/imaging"
 	"crawlerbox/internal/minijs"
 	"crawlerbox/internal/obs"
+	"crawlerbox/internal/resilience"
 	"crawlerbox/internal/webnet"
 )
 
@@ -34,6 +35,13 @@ type Browser struct {
 	// itself onto every network request so round trips record child spans.
 	// The corpus runner binds it to the analysis's per-message trace.
 	Trace *obs.Trace
+	// Resilience, when set, is the per-analysis fault/retry session: the
+	// browser threads it onto every request (arming webnet's seeded fault
+	// injection), retries transient failures with backoff charged to the
+	// virtual clock, and honors the per-host circuit breaker. Nil disarms
+	// the layer — one attempt per request, exactly the pre-resilience
+	// behavior.
+	Resilience *resilience.Session
 	// ClientIP is the crawler's egress address; its provenance class is a
 	// server-side cloaking input.
 	ClientIP string
@@ -111,9 +119,12 @@ type page struct {
 	depth        int
 }
 
-// recorder accumulates request records across the whole visit.
+// recorder accumulates request records across the whole visit, plus the
+// degradation marker the classifier reads: whether any request in the visit
+// exhausted its retries or was short-circuited by an open breaker.
 type recorder struct {
 	requests []RequestRecord
+	degraded bool
 }
 
 func (pg *page) host() string { return pg.url.Hostname() }
@@ -151,6 +162,9 @@ func (b *Browser) finishVisitSpan(span *obs.Span, res *Result, err error) {
 		span.SetAttr("status", strconv.Itoa(res.Status))
 		span.SetAttr("requests", strconv.Itoa(len(res.Requests)))
 		span.SetAttr("navigations", strconv.Itoa(len(res.Navigations)))
+		if res.Degraded {
+			span.SetAttr("degraded", "true")
+		}
 	}
 	if err != nil {
 		span.SetStatus(obs.StatusError)
@@ -174,6 +188,12 @@ type Result struct {
 	ScriptErrors []string
 	DebuggerHits int
 	Navigations  []string
+	// Degraded reports that at least one request during the visit gave up
+	// after exhausting its retry budget or hitting an open circuit breaker:
+	// the rest of the result is whatever evidence was still gathered, and
+	// the classifier downgrades such messages to OutcomePartial rather than
+	// treating them as fully measured.
+	Degraded bool
 }
 
 func (b *Browser) navigate(ctx context.Context, rawURL, referrer string, rec *recorder, depth int) (*Result, error) {
@@ -419,8 +439,12 @@ func (b *Browser) fetch(ctx context.Context, method, rawURL, initiator, referrer
 		TLSFingerprint: b.Profile.TLSFingerprint,
 		Clock:          b.clock(),
 		Trace:          b.Trace,
+		Faults:         b.Resilience,
 	}
-	resp, err := b.Net.DoCtx(ctx, req)
+	resp, degraded, err := b.doResilient(ctx, req)
+	if degraded && rec != nil {
+		rec.degraded = true
+	}
 	record := RequestRecord{
 		URL: rawURL, Method: method, Initiator: initiator,
 		Referer: headers["Referer"],
@@ -436,6 +460,105 @@ func (b *Browser) fetch(ctx context.Context, method, rawURL, initiator, referrer
 		b.setCookie(u.Hostname(), sc)
 	}
 	return resp, nil
+}
+
+// doResilient performs one round trip under the resilience session's
+// policy: the per-host breaker gates the attempt, transient failures
+// (NXDOMAIN, unreachable, timeout, reset, 5xx) are retried with exponential
+// backoff and deterministic jitter charged to the visit's virtual clock,
+// and every wait records a retry span. The degraded return is true when the
+// operation gave up — retries exhausted, stage budget spent, or breaker
+// open — in which case the caller marks the visit partially measured. With
+// no session armed it is exactly one b.Net.Do call.
+func (b *Browser) doResilient(ctx context.Context, req *webnet.Request) (resp *webnet.Response, degraded bool, err error) {
+	s := b.Resilience
+	if s == nil {
+		resp, err = b.Net.Do(ctx, req)
+		return resp, false, err
+	}
+	host := req.Host
+	if !s.Allow(host) {
+		b.recordShortCircuit(host)
+		return nil, true, fmt.Errorf("browser: skipping %q: %w", host, resilience.ErrCircuitOpen)
+	}
+	attempt := 1
+	resp, err = b.Net.Do(ctx, req)
+	for {
+		reason := retryReason(resp, err)
+		if reason == "" {
+			if err == nil {
+				s.ReportSuccess(host)
+				if attempt > 1 {
+					s.RecordRecovered()
+				}
+			}
+			return resp, false, err
+		}
+		s.ReportFailure(host)
+		if ctx.Err() != nil {
+			return resp, false, err
+		}
+		if !s.Allow(host) {
+			// Our own failures opened the circuit mid-retry: give up with
+			// whatever the last attempt produced.
+			b.recordShortCircuit(host)
+			s.RecordExhausted()
+			if err != nil {
+				return nil, true, &resilience.ExhaustedError{Attempts: attempt, Err: err}
+			}
+			return resp, true, nil
+		}
+		d, ok := s.NextBackoff(attempt)
+		if !ok {
+			s.RecordExhausted()
+			if err != nil {
+				return nil, true, &resilience.ExhaustedError{Attempts: attempt, Err: err}
+			}
+			// A retried-out 5xx still carries a response; the visit keeps
+			// it as partial evidence.
+			return resp, true, nil
+		}
+		sp := b.Trace.StartAt(obs.SpanRetry, "retry "+host, b.clock().Now())
+		sp.SetAttr("attempt", strconv.Itoa(attempt))
+		sp.SetAttr("reason", reason)
+		sp.SetAttr("backoff_ns", strconv.FormatInt(int64(d), 10))
+		b.clock().Advance(d)
+		sp.EndAt(b.clock().Now())
+		attempt++
+		resp, err = b.Net.Do(ctx, req)
+	}
+}
+
+// recordShortCircuit drops a zero-length retry span marking a request the
+// open breaker refused to send, so the fault-recovery table can count
+// short-circuits from the trace alone.
+func (b *Browser) recordShortCircuit(host string) {
+	sp := b.Trace.StartAt(obs.SpanRetry, "breaker "+host, b.clock().Now())
+	sp.SetAttr("reason", "breaker-open")
+	sp.SetStatus(obs.StatusError)
+	sp.EndAt(b.clock().Now())
+}
+
+// retryReason classifies a round-trip result as retryable ("" = final): a
+// transient network error or a 5xx overload answer.
+func retryReason(resp *webnet.Response, err error) string {
+	switch {
+	case err == nil:
+		if resp != nil && resp.Status >= 500 {
+			return "5xx"
+		}
+		return ""
+	case errors.Is(err, webnet.ErrNXDomain):
+		return "nxdomain"
+	case errors.Is(err, webnet.ErrReset):
+		return "reset"
+	case errors.Is(err, webnet.ErrTimeout):
+		return "timeout"
+	case errors.Is(err, webnet.ErrUnreachable):
+		return "unreachable"
+	default:
+		return ""
+	}
 }
 
 func pathOrRoot(u *neturl.URL) string {
@@ -515,6 +638,7 @@ func assembleResult(requested, final string, navs []string, rec *recorder, pg *p
 	}
 	if rec != nil {
 		r.Requests = rec.requests
+		r.Degraded = rec.degraded
 	}
 	if pg != nil {
 		r.DOM = pg.doc

@@ -29,7 +29,7 @@ func newNet() *webnet.Internet {
 
 func get(t *testing.T, net *webnet.Internet, host, path, query, ua, ip string) *webnet.Response {
 	t.Helper()
-	resp, err := net.Do(&webnet.Request{
+	resp, err := net.Do(context.Background(), &webnet.Request{
 		Method: "GET", Host: host, Path: path, RawQuery: query,
 		Headers:  map[string]string{"User-Agent": ua},
 		ClientIP: ip,

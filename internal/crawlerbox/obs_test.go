@@ -104,6 +104,7 @@ func TestSpanStatusTaxonomy(t *testing.T) {
 	outcomes := []Outcome{
 		OutcomeNoResource, OutcomeError, OutcomeInteraction,
 		OutcomeDownload, OutcomeActivePhish, OutcomeCloaked,
+		OutcomePartial,
 	}
 	seen := map[string]bool{}
 	for _, o := range outcomes {
@@ -125,7 +126,7 @@ func TestSpanStatusTaxonomy(t *testing.T) {
 	}
 	// Sentinel: one past the last outcome must fall through to "unknown",
 	// proving the list above covers the whole enumeration.
-	if got := (OutcomeCloaked + 1).String(); got != "unknown" {
+	if got := (OutcomePartial + 1).String(); got != "unknown" {
 		t.Errorf("sentinel outcome = %q; a new Outcome was added without extending this test", got)
 	}
 

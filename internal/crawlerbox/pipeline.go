@@ -14,6 +14,7 @@ import (
 	"crawlerbox/internal/htmlx"
 	"crawlerbox/internal/imaging"
 	"crawlerbox/internal/obs"
+	"crawlerbox/internal/resilience"
 	"crawlerbox/internal/urlx"
 	"crawlerbox/internal/webnet"
 	"crawlerbox/internal/whois"
@@ -50,6 +51,16 @@ type Pipeline struct {
 	// analysis's virtual clock fork, and feeds the shared metrics registry.
 	// Export via Obs.WriteJSONL / Obs.Metrics.WriteProm after the run.
 	Obs *obs.Observer
+	// Resilience, when non-nil, arms the deterministic fault-and-recovery
+	// layer (DESIGN.md §11): every Analyze gets a per-message
+	// resilience.Session seeded from spec.ID that drives seeded fault
+	// injection in webnet, retry-with-backoff on the analysis's virtual
+	// clock, and the per-host circuit breaker. Sessions are per-analysis —
+	// never shared across messages — so fault schedules and breaker states
+	// depend only on each message's own seed and request order, keeping
+	// corpus runs byte-identical at any worker count. Nil reproduces the
+	// resilience-free behavior exactly.
+	Resilience *resilience.Policy
 
 	// seed feeds browsers created outside a corpus run (AddReference, the
 	// legacy AnalyzeMessage entry point). Atomic so stray concurrent use is
@@ -109,6 +120,13 @@ const (
 	OutcomeDownload
 	OutcomeActivePhish
 	OutcomeCloaked
+	// OutcomePartial marks a gracefully degraded analysis: at least one
+	// visit gave up after exhausting its resilience retries (or hitting an
+	// open circuit breaker), but other evidence — a rendered DOM from
+	// another visit or a partially loaded page — was still gathered. The
+	// message is neither fully measured nor a total loss; only the armed
+	// resilience layer (Pipeline.Resilience) can produce it.
+	OutcomePartial
 )
 
 // String names the outcome.
@@ -126,6 +144,8 @@ func (o Outcome) String() string {
 		return "active-phishing"
 	case OutcomeCloaked:
 		return "cloaked-benign"
+	case OutcomePartial:
+		return "partial-evidence"
 	default:
 		return "unknown"
 	}
@@ -280,12 +300,21 @@ func (p *Pipeline) Analyze(ctx context.Context, spec MessageSpec) (*MessageAnaly
 	if !spec.At.IsZero() {
 		clock = webnet.NewClock(spec.At)
 	}
+	var ses *resilience.Session
+	if p.Resilience != nil {
+		var metrics *obs.Registry
+		if p.Obs != nil {
+			metrics = p.Obs.Metrics
+		}
+		ses = resilience.NewSession(p.Resilience, spec.ID, clock, metrics)
+	}
 	ex := &Execution{
 		Pipeline: p,
 		Raw:      spec.Raw,
 		Clock:    clock,
 		Analysis: &MessageAnalysis{AnalyzedAt: clock.Now()},
 		Trace:    p.Obs.NewTrace(spec.ID, clock),
+		Session:  ses,
 		seedBase: spec.ID,
 	}
 	root := ex.Trace.Start(obs.SpanMessage, "message "+strconv.FormatInt(spec.ID, 10))
@@ -301,6 +330,9 @@ func (p *Pipeline) runStages(ctx context.Context, ex *Execution) (*MessageAnalys
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		// Each stage starts with a full backoff budget: retries exhausted
+		// while crawling must not starve the interaction follow-ups.
+		ex.Session.ResetBudget()
 		sp := ex.Trace.Start(obs.SpanStage, st.Name())
 		err := st.Run(ctx, ex)
 		halted := errors.Is(err, ErrHalt)
@@ -392,13 +424,24 @@ func (p *Pipeline) stages() []Stage {
 
 // classify derives the message outcome from the crawl results, using
 // errIsNetwork to separate dead-infrastructure errors from content-level
-// failures.
+// failures. When the resilience layer degraded a visit (retries exhausted
+// or breaker open) but some visit still produced a DOM, the message is
+// downgraded to OutcomePartial — measured on partial evidence — rather than
+// error or cloaked; definitive phish/interaction findings still win, since
+// the evidence that matters was gathered.
 func (p *Pipeline) classify(ma *MessageAnalysis) {
 	var sawPhish, sawInteraction, sawBenign bool
 	var sawNetError, sawContentError bool
+	var sawDegraded, hasEvidence bool
 	var phishVisit *VisitRecord
 	for i := range ma.Visits {
 		v := &ma.Visits[i]
+		if errIsDegraded(v.Err) || (v.Result != nil && v.Result.Degraded) {
+			sawDegraded = true
+		}
+		if v.Result != nil && v.Result.DOM != nil {
+			hasEvidence = true
+		}
 		switch {
 		case v.Err != nil && errIsNetwork(v.Err):
 			sawNetError = true
@@ -424,6 +467,8 @@ func (p *Pipeline) classify(ma *MessageAnalysis) {
 		p.classifySpearPhish(ma, phishVisit)
 	case sawInteraction:
 		ma.Outcome = OutcomeInteraction
+	case sawDegraded && hasEvidence:
+		ma.Outcome = OutcomePartial
 	case sawError && !sawBenign:
 		ma.Outcome = OutcomeError
 	case sawBenign:
@@ -688,8 +733,20 @@ func resolveRef(base, ref string) string {
 // errIsNetwork reports network-level failures: the visit died before any
 // server produced content. classify uses it to split OutcomeError into
 // ErrorNetwork (dead infrastructure) and ErrorContent (broken pages).
+// ExhaustedError unwraps to its final transient error, so retried-out
+// visits classify by what actually failed; a breaker short-circuit counts
+// as network-level too (the host was failing at the network layer).
 func errIsNetwork(err error) bool {
 	return errors.Is(err, webnet.ErrNXDomain) ||
 		errors.Is(err, webnet.ErrUnreachable) ||
-		errors.Is(err, webnet.ErrTimeout)
+		errors.Is(err, webnet.ErrTimeout) ||
+		errors.Is(err, webnet.ErrReset) ||
+		errors.Is(err, resilience.ErrCircuitOpen)
+}
+
+// errIsDegraded reports visits the resilience layer gave up on: retries
+// exhausted or a request refused by an open circuit breaker.
+func errIsDegraded(err error) bool {
+	return errors.Is(err, resilience.ErrExhausted) ||
+		errors.Is(err, resilience.ErrCircuitOpen)
 }

@@ -10,6 +10,7 @@ import (
 	"crawlerbox/internal/browser"
 	"crawlerbox/internal/htmlx"
 	"crawlerbox/internal/obs"
+	"crawlerbox/internal/resilience"
 	"crawlerbox/internal/webnet"
 )
 
@@ -56,6 +57,11 @@ type Execution struct {
 	// span operations are no-ops). Browsers created through NewBrowser
 	// inherit it so visit and request spans land in the message's timeline.
 	Trace *obs.Trace
+	// Session is this analysis's resilience session (nil when the fault and
+	// recovery layer is disarmed): fault schedule, retry budget, and circuit
+	// breakers, all private to the message so outcomes stay independent of
+	// what other analyses are running.
+	Session *resilience.Session
 
 	seedBase int64
 	seedSeq  int64
@@ -81,12 +87,13 @@ func (ex *Execution) NewBrowser() *browser.Browser {
 }
 
 // attach rebinds a browser's clock to the execution's fork and threads the
-// execution's trace buffer into it.
+// execution's trace buffer and resilience session into it.
 func (ex *Execution) attach(br *browser.Browser) *browser.Browser {
 	if ex.Clock != nil {
 		br.Clock = ex.Clock
 	}
 	br.Trace = ex.Trace
+	br.Resilience = ex.Session
 	return br
 }
 

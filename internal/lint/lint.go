@@ -1,7 +1,7 @@
 // Package lint is cblint: a from-scratch static-analysis pass, built on
 // nothing but the standard library's go/parser, go/build, and go/types, that
 // machine-checks the invariants the pipeline's reproducibility guarantee
-// rests on (DESIGN.md §9). Four analyzers ship today:
+// rests on (DESIGN.md §9). Five analyzers ship today:
 //
 //   - determinism: wall-clock reads and global math/rand calls are banned in
 //     internal production code — time flows through webnet.Clock and
@@ -13,6 +13,10 @@
 //     a call must not drop an in-scope ctx a callee accepts.
 //   - guarded: a struct field annotated "guarded by <mutex>" may only be
 //     touched by methods that lock that mutex on the same receiver first.
+//   - resilience: real-time waits (time.Sleep, timers) and wall-clock
+//     deadlines (context.WithTimeout/WithDeadline) are banned in internal
+//     code — backoff and budgets are charged to the virtual clock through
+//     resilience.Session.
 //
 // Findings are suppressed, one line at a time, with an explicit
 //
@@ -66,6 +70,7 @@ func Registry() []Analyzer {
 		MapRange{},
 		CtxFlow{},
 		Guarded{},
+		Resilience{},
 	}
 }
 

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Resilience forbids real-time waiting and wall-clock deadlines in internal
+// production code. Retry backoff must be charged to the analysis's virtual
+// clock through resilience.Session.NextBackoff — a time.Sleep in a retry
+// loop would stall the real process and desynchronize the virtual timeline —
+// and per-operation deadlines belong in resilience.Policy stage budgets, not
+// in context.WithTimeout, whose timer fires on the process clock the
+// simulation never advances. The timer functions overlap with the
+// determinism analyzer's wall-clock ban on purpose: a sleep in internal code
+// violates both invariants, and a sanctioned site must answer to both.
+type Resilience struct{}
+
+// realTimeWaitFuncs are the time functions that block on (or arm) the
+// process timer.
+var realTimeWaitFuncs = map[string]bool{
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// realTimeDeadlineFuncs are the context constructors that arm a wall-clock
+// deadline.
+var realTimeDeadlineFuncs = map[string]bool{
+	"WithTimeout":       true,
+	"WithTimeoutCause":  true,
+	"WithDeadline":      true,
+	"WithDeadlineCause": true,
+}
+
+// Name implements Analyzer.
+func (Resilience) Name() string { return "resilience" }
+
+// Doc implements Analyzer.
+func (Resilience) Doc() string {
+	return "forbid time.Sleep/timers and context.WithTimeout/WithDeadline in internal code; charge backoff and budgets to the virtual clock via resilience.Session"
+}
+
+// Applies implements Analyzer: internal production packages only.
+func (Resilience) Applies(importPath string) bool {
+	return strings.Contains(importPath+"/", "/internal/") ||
+		strings.HasPrefix(importPath, "internal/")
+}
+
+// Check implements Analyzer.
+func (r Resilience) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		table := importTable(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, fn, ok := pkgCallee(pkg, table, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case path == "time" && realTimeWaitFuncs[fn]:
+				diags = append(diags, Diagnostic{
+					Analyzer: r.Name(),
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Message: fmt.Sprintf(
+						"time.%s blocks on the process timer; charge backoff to the virtual clock via resilience.Session.NextBackoff", fn),
+				})
+			case path == "context" && realTimeDeadlineFuncs[fn]:
+				diags = append(diags, Diagnostic{
+					Analyzer: r.Name(),
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Message: fmt.Sprintf(
+						"context.%s arms a wall-clock deadline; bound retries with resilience.Policy stage budgets on the virtual clock", fn),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}

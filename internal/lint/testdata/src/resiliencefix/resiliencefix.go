@@ -1,0 +1,33 @@
+// Package resiliencefix is the resilience-analyzer fixture: real-time
+// sleeps, timers, and wall-clock context deadlines are findings;
+// virtual-clock arithmetic is not.
+package resiliencefix
+
+import (
+	"context"
+	"time"
+)
+
+func backoffNap(d time.Duration) {
+	time.Sleep(d) // want "time.Sleep blocks on the process timer"
+}
+
+func timerWait() {
+	<-time.After(time.Second) // want "time.After blocks on the process timer"
+}
+
+func perCallDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, time.Second) // want "context.WithTimeout arms a wall-clock deadline"
+}
+
+func sanctioned(ctx context.Context) (context.Context, context.CancelFunc) {
+	//cblint:ignore resilience fixture demonstrates a documented suppression, not a retry path
+	return context.WithDeadline(ctx, time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC))
+}
+
+type clock interface{ Now() time.Time }
+
+// fine charges a wait to a virtual clock: no process timer involved.
+func fine(c clock, d time.Duration) time.Time {
+	return c.Now().Add(d)
+}

@@ -43,6 +43,10 @@ const (
 	SpanRequest
 	// SpanDNS covers one DNS resolution inside a round trip.
 	SpanDNS
+	// SpanRetry covers one resilience wait between request attempts: a
+	// backoff charged to the virtual clock, or a zero-length breaker
+	// short-circuit marker.
+	SpanRetry
 )
 
 // String names the kind (the JSONL "kind" field).
@@ -58,6 +62,8 @@ func (k SpanKind) String() string {
 		return "request"
 	case SpanDNS:
 		return "dns"
+	case SpanRetry:
+		return "retry"
 	default:
 		return "unknown"
 	}
@@ -65,7 +71,7 @@ func (k SpanKind) String() string {
 
 // KindFromString is the inverse of SpanKind.String (0 for unknown names).
 func KindFromString(s string) SpanKind {
-	for k := SpanMessage; k <= SpanDNS; k++ {
+	for k := SpanMessage; k <= SpanRetry; k++ {
 		if k.String() == s {
 			return k
 		}

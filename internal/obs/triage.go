@@ -219,6 +219,94 @@ func clip(s string, n int) string {
 	return s[:n-3] + "..."
 }
 
+// FaultRecovery aggregates the resilience layer's footprint across a set of
+// traces: injected faults by kind (the "fault" attribute on request spans),
+// retry waits by trigger reason with their total virtual backoff (SpanRetry
+// spans), breaker short-circuits (zero-length SpanRetry markers with
+// reason=breaker-open), and visits the layer degraded after giving up.
+type FaultRecovery struct {
+	// FaultsByKind counts injected faults per kind label.
+	FaultsByKind map[string]int
+	// RetriesByReason counts backoff waits per retry reason.
+	RetriesByReason map[string]int
+	// TotalBackoff is the summed virtual duration of all retry waits.
+	TotalBackoff time.Duration
+	// ShortCircuits counts requests refused by an open breaker.
+	ShortCircuits int
+	// DegradedVisits counts visit spans carrying degraded=true.
+	DegradedVisits int
+}
+
+// Empty reports whether the traces carried no resilience activity at all
+// (layer disarmed, or armed but never triggered).
+func (f FaultRecovery) Empty() bool {
+	return len(f.FaultsByKind) == 0 && len(f.RetriesByReason) == 0 &&
+		f.ShortCircuits == 0 && f.DegradedVisits == 0
+}
+
+// FaultRecoveryStats scans the traces for the fault-recovery footprint.
+func FaultRecoveryStats(traces []*Trace) FaultRecovery {
+	out := FaultRecovery{
+		FaultsByKind:    map[string]int{},
+		RetriesByReason: map[string]int{},
+	}
+	for _, t := range traces {
+		for _, s := range t.Spans() {
+			switch s.Kind {
+			case SpanRequest:
+				if kind := s.AttrValue("fault"); kind != "" {
+					out.FaultsByKind[kind]++
+				}
+			case SpanRetry:
+				if s.AttrValue("reason") == "breaker-open" && s.AttrValue("attempt") == "" {
+					out.ShortCircuits++
+					continue
+				}
+				out.RetriesByReason[s.AttrValue("reason")]++
+				out.TotalBackoff += s.Duration()
+			case SpanVisit:
+				if s.AttrValue("degraded") == "true" {
+					out.DegradedVisits++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RenderFaultRecovery renders the fault-recovery table, or "" when the
+// traces carried no resilience activity (so default reports stay unchanged).
+func RenderFaultRecovery(traces []*Trace) string {
+	fr := FaultRecoveryStats(traces)
+	if fr.Empty() {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("Fault recovery\n")
+	for _, kind := range sortedKeys(fr.FaultsByKind) {
+		fmt.Fprintf(&b, "fault injected %-12s %6d\n", kind, fr.FaultsByKind[kind])
+	}
+	retries := 0
+	for _, reason := range sortedKeys(fr.RetriesByReason) {
+		fmt.Fprintf(&b, "retry on %-18s %6d\n", reason, fr.RetriesByReason[reason])
+		retries += fr.RetriesByReason[reason]
+	}
+	fmt.Fprintf(&b, "%-27s %6d (total backoff %s)\n", "retries", retries, fr.TotalBackoff)
+	fmt.Fprintf(&b, "%-27s %6d\n", "breaker short-circuits", fr.ShortCircuits)
+	fmt.Fprintf(&b, "%-27s %6d\n", "degraded visits", fr.DegradedVisits)
+	return b.String()
+}
+
+// sortedKeys returns m's keys in ascending order.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // SlowestTraces returns up to k traces by descending root-span duration,
 // ties broken by ascending trace ID.
 func SlowestTraces(traces []*Trace, k int) []*Trace {

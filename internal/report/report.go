@@ -26,6 +26,7 @@ import (
 	"crawlerbox/internal/dataset"
 	"crawlerbox/internal/htmlx"
 	"crawlerbox/internal/obs"
+	"crawlerbox/internal/resilience"
 	"crawlerbox/internal/stats"
 	"crawlerbox/internal/urlx"
 	"crawlerbox/internal/webnet"
@@ -46,35 +47,63 @@ type Run struct {
 	census     *census
 }
 
-// Analyze runs the pipeline over every corpus message serially. It is
-// AnalyzeParallel with one worker.
-func Analyze(c *dataset.Corpus) (*Run, error) {
-	//cblint:ignore ctxflow Analyze is the documented no-cancellation serial wrapper around AnalyzeParallel
-	return AnalyzeParallel(context.Background(), c, 1)
+// options collects the Analyze configuration assembled by Option values.
+type options struct {
+	workers    int
+	observer   *obs.Observer
+	resilience *resilience.Policy
 }
 
-// AnalyzeParallel runs the pipeline over the corpus with a bounded worker
-// pool. Each message is analyzed at its delivery time plus the paper's
-// two-hour reporting lag, on a private fork of the virtual clock, with a
-// seed stream keyed by its corpus index — so the aggregated Run is bitwise
-// identical for every worker count. The context cancels the run; messages
-// not yet analyzed at cancellation are counted in Run.Errors.
-func AnalyzeParallel(ctx context.Context, c *dataset.Corpus, workers int) (*Run, error) {
-	return AnalyzeParallelObserved(ctx, c, workers, nil)
+// Option configures one aspect of an Analyze run.
+type Option func(*options)
+
+// WithWorkers sets the analysis worker-pool size (default 1, i.e. serial).
+// Because each message runs on a private clock fork with a seed stream keyed
+// by its corpus index, the aggregated Run is bitwise identical for every
+// worker count.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
 }
 
-// AnalyzeParallelObserved is AnalyzeParallel with observability wired in:
-// the pipeline records a trace per message and the corpus network feeds the
-// observer's metrics registry. A nil observer disables both (identical to
-// AnalyzeParallel). Because span timelines read each analysis's private
-// clock fork and metrics use only commutative operations, the observer's
-// exports are byte-identical for every worker count.
-func AnalyzeParallelObserved(ctx context.Context, c *dataset.Corpus, workers int, o *obs.Observer) (*Run, error) {
-	pipe := crawlerbox.New(c.Net, c.Registry)
-	if o != nil {
-		pipe.Obs = o
-		c.Net.Metrics = o.Metrics
+// WithObserver wires observability into the run: the pipeline records a
+// trace per message and the corpus network feeds the observer's metrics
+// registry. A nil observer disables both (the default). Because span
+// timelines read each analysis's private clock fork and metrics use only
+// commutative operations, the observer's exports are byte-identical for
+// every worker count.
+func WithObserver(o *obs.Observer) Option {
+	return func(op *options) { op.observer = o }
+}
+
+// WithResilience arms the deterministic fault-and-recovery layer: each
+// message draws a seeded fault schedule from the policy and recovers via
+// virtual-clock retries and per-host circuit breakers. A nil policy leaves
+// the layer disarmed (the default).
+func WithResilience(p *resilience.Policy) Option {
+	return func(o *options) { o.resilience = p }
+}
+
+// Analyze runs the pipeline over the corpus and aggregates the Run. Each
+// message is analyzed at its delivery time plus the paper's two-hour
+// reporting lag, on a private fork of the virtual clock, with a seed stream
+// keyed by its corpus index — so the aggregated Run is bitwise identical for
+// every worker count. The context cancels the run; messages not yet analyzed
+// at cancellation are counted in Run.Errors.
+//
+// Analyze is the single entry point; concurrency, observability, and fault
+// injection are all opt-in through WithWorkers, WithObserver, and
+// WithResilience.
+func Analyze(ctx context.Context, c *dataset.Corpus, opts ...Option) (*Run, error) {
+	op := options{workers: 1}
+	for _, o := range opts {
+		o(&op)
 	}
+	pipe := crawlerbox.New(c.Net, c.Registry)
+	if op.observer != nil {
+		pipe.Obs = op.observer
+		c.Net.Metrics = op.observer.Metrics
+	}
+	pipe.Resilience = op.resilience
 	brands := make([]string, 0, len(c.BrandURLs))
 	for b := range c.BrandURLs {
 		brands = append(brands, b)
@@ -95,7 +124,7 @@ func AnalyzeParallelObserved(ctx context.Context, c *dataset.Corpus, workers int
 		}
 	}
 	run := &Run{Corpus: c}
-	for _, res := range pipe.AnalyzeCorpus(ctx, specs, workers) {
+	for _, res := range pipe.AnalyzeCorpus(ctx, specs, op.workers) {
 		if res.Err != nil {
 			run.Errors++
 			run.Analyses = append(run.Analyses, nil)
@@ -104,6 +133,20 @@ func AnalyzeParallelObserved(ctx context.Context, c *dataset.Corpus, workers int
 		run.Analyses = append(run.Analyses, res.Analysis)
 	}
 	return run, nil
+}
+
+// AnalyzeParallel runs the pipeline with a bounded worker pool.
+//
+// Deprecated: use Analyze with WithWorkers.
+func AnalyzeParallel(ctx context.Context, c *dataset.Corpus, workers int) (*Run, error) {
+	return Analyze(ctx, c, WithWorkers(workers))
+}
+
+// AnalyzeParallelObserved is AnalyzeParallel with observability wired in.
+//
+// Deprecated: use Analyze with WithWorkers and WithObserver.
+func AnalyzeParallelObserved(ctx context.Context, c *dataset.Corpus, workers int, o *obs.Observer) (*Run, error) {
+	return Analyze(ctx, c, WithWorkers(workers), WithObserver(o))
 }
 
 // census is the memoized index behind every Run aggregate. It is computed
@@ -257,6 +300,11 @@ func dispositionRows(counts map[string]int, total int) []DispositionRow {
 		crawlerbox.OutcomeInteraction.String(),
 		crawlerbox.OutcomeDownload.String(),
 		crawlerbox.OutcomeActivePhish.String(),
+	}
+	// Partial evidence only exists under fault injection; appending the row
+	// conditionally keeps the default table byte-identical to the paper's.
+	if partial := crawlerbox.OutcomePartial.String(); counts[partial] > 0 {
+		order = append(order, partial)
 	}
 	out := make([]DispositionRow, 0, len(order))
 	for _, label := range order {

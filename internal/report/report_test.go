@@ -20,7 +20,7 @@ func sharedRun(t *testing.T) *Run {
 		if err != nil {
 			t.Fatal(err)
 		}
-		run, err := Analyze(c)
+		run, err := Analyze(context.Background(), c)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,435 @@
+// Package resilience is the deterministic fault-and-recovery layer of the
+// CrawlerBox reproduction (DESIGN.md §11). It provides the four pieces the
+// pipeline weaves through webnet → browser → crawlerbox:
+//
+//   - a seeded, per-host schedule of transient faults (NXDOMAIN flaps,
+//     connection resets, slow-start timeouts, 5xx bursts) that
+//     webnet.Internet injects into the request path,
+//   - retry with exponential backoff and deterministic jitter, charged to
+//     the per-analysis virtual clock (never time.Sleep), under a per-stage
+//     backoff budget,
+//   - a per-host circuit breaker (closed / open / half-open) with a
+//     virtual-clock cool-down, and
+//   - the error taxonomy (ErrCircuitOpen, ExhaustedError) classify uses to
+//     downgrade a retry-exhausted message to OutcomePartial instead of
+//     aborting the analysis.
+//
+// All state lives in a per-analysis Session keyed by the message seed:
+// fault draws, jitter draws, burst positions, and breaker states depend
+// only on (seed, call ordinal) within one analysis, never on what other
+// analyses are doing — which is what keeps corpus runs byte-identical for
+// any worker count. A corpus-global breaker would be more faithful to a
+// long-lived production crawler but would make one message's outcome depend
+// on scheduling order; the per-analysis scope is the deterministic choice.
+//
+// Like the obs package, resilience is decoupled from webnet through a small
+// Clock interface (satisfied by *webnet.Clock), so webnet can depend on it
+// without a cycle. Every method is nil-safe on a nil *Session: the layer
+// disarmed costs one nil check per site.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"crawlerbox/internal/obs"
+)
+
+// Clock is the virtual time source the breaker cool-down reads.
+// *webnet.Clock satisfies it.
+type Clock interface {
+	Now() time.Time
+}
+
+// Errors surfaced by the resilience layer.
+var (
+	// ErrCircuitOpen marks a request short-circuited by an open per-host
+	// circuit breaker: the host failed repeatedly and the cool-down has not
+	// elapsed on the analysis's virtual clock.
+	ErrCircuitOpen = errors.New("resilience: circuit open")
+	// ErrExhausted is the errors.Is target for ExhaustedError.
+	ErrExhausted = errors.New("resilience: retries exhausted")
+)
+
+// ExhaustedError wraps the last transient error after the retry budget ran
+// out. It unwraps to the underlying webnet error, so classifiers that probe
+// for ErrNXDomain/ErrUnreachable/ErrTimeout/ErrReset keep working, and it
+// matches errors.Is(err, ErrExhausted) so degradation can be told apart
+// from a plain first-attempt failure.
+type ExhaustedError struct {
+	// Attempts is the number of round trips performed (initial + retries).
+	Attempts int
+	// Err is the final attempt's error.
+	Err error
+}
+
+// Error implements error.
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("resilience: %d attempts exhausted: %v", e.Attempts, e.Err)
+}
+
+// Unwrap exposes the final attempt's error.
+func (e *ExhaustedError) Unwrap() error { return e.Err }
+
+// Is matches the ErrExhausted sentinel.
+func (e *ExhaustedError) Is(target error) bool { return target == ErrExhausted }
+
+// FaultKind enumerates the injectable transient faults.
+type FaultKind int
+
+// Fault kinds, in draw-weight order.
+const (
+	// FaultNone: the request proceeds normally.
+	FaultNone FaultKind = iota
+	// FaultNXDomain: the resolver transiently answers NXDOMAIN (a DNS flap)
+	// even though the zone still holds the record.
+	FaultNXDomain
+	// FaultReset: the TCP connection is reset after connect.
+	FaultReset
+	// FaultSlowStart: the server accepts the connection, then stalls past
+	// the client deadline (extra virtual latency, then a timeout).
+	FaultSlowStart
+	// Fault5xx: an overloaded origin answers 503.
+	Fault5xx
+)
+
+// String names the kind (metric label / span attribute vocabulary).
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultNXDomain:
+		return "nxdomain-flap"
+	case FaultReset:
+		return "reset"
+	case FaultSlowStart:
+		return "slow-start"
+	case Fault5xx:
+		return "5xx"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault is one injected fault instance.
+type Fault struct {
+	Kind FaultKind
+	// Status is the response status served for Fault5xx.
+	Status int
+	// Stall is the extra virtual latency charged before a FaultSlowStart
+	// surfaces as a timeout.
+	Stall time.Duration
+}
+
+// Policy is the immutable configuration of the resilience layer. A nil
+// *Policy on the pipeline disarms the layer entirely (no injection, no
+// retries, no breaker) and reproduces the pre-resilience behavior byte for
+// byte.
+type Policy struct {
+	// FaultRate is the probability in [0,1] that a request to a currently
+	// healthy host starts a fault burst. Zero injects nothing (retries and
+	// the breaker still act on real failures such as taken-down hosts).
+	FaultRate float64
+	// MaxBurst is the maximum burst length: once a host draws a fault, the
+	// same fault repeats for a drawn 1..MaxBurst consecutive requests to
+	// that host. Bursts are what make the schedule realistic — NXDOMAIN
+	// flaps and 5xx storms persist across immediate retries — and are the
+	// reason retry exhaustion happens at all at low fault rates.
+	MaxBurst int
+	// RetryMax is the number of retries after the initial attempt.
+	RetryMax int
+	// BackoffBase is the first retry's backoff step; step k is
+	// BackoffBase<<k, capped at BackoffMax, before jitter.
+	BackoffBase time.Duration
+	// BackoffMax caps a single backoff step.
+	BackoffMax time.Duration
+	// JitterFrac in [0,1] is the fraction of each step randomized: the wait
+	// is drawn uniformly from [step-step*JitterFrac/2, step+step*JitterFrac/2].
+	JitterFrac float64
+	// StageBudget caps the cumulative virtual backoff charged per pipeline
+	// stage; once spent, further retries are refused until the next stage.
+	StageBudget time.Duration
+	// BreakerThreshold is the consecutive per-host failure count that opens
+	// the circuit.
+	BreakerThreshold int
+	// BreakerCooldown is how long (virtual time) an open circuit waits
+	// before admitting a half-open probe.
+	BreakerCooldown time.Duration
+	// SlowStall is the extra virtual latency of a FaultSlowStart.
+	SlowStall time.Duration
+}
+
+// DefaultPolicy returns the tuned defaults used by the CLIs: 10% fault
+// rate, bursts up to 6 requests, 3 retries with 250ms..5s exponential
+// backoff and 50% jitter, a 10s per-stage budget, and a breaker that opens
+// after 4 consecutive failures for a 5-minute virtual cool-down.
+func DefaultPolicy() *Policy {
+	return &Policy{
+		FaultRate:        0.1,
+		MaxBurst:         6,
+		RetryMax:         3,
+		BackoffBase:      250 * time.Millisecond,
+		BackoffMax:       5 * time.Second,
+		JitterFrac:       0.5,
+		StageBudget:      10 * time.Second,
+		BreakerThreshold: 4,
+		BreakerCooldown:  5 * time.Minute,
+		SlowStall:        2 * time.Second,
+	}
+}
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// burst is the remaining tail of a drawn fault burst for one host.
+type burst struct {
+	fault Fault
+	left  int
+}
+
+// breaker is one host's circuit-breaker state.
+type breaker struct {
+	state    int
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // virtual time the circuit last opened
+}
+
+// Session is the per-analysis resilience state: the seeded fault/jitter
+// stream, per-host burst positions, per-host breakers, and the current
+// stage's backoff budget. One Session serves one message analysis; the
+// browser and webnet layers of that analysis share it. Methods are
+// locked — analyses are single-goroutine, but nested fetches (frames,
+// subresources) re-enter through the same browser — and every method is a
+// no-op (or permissive) on a nil receiver.
+type Session struct {
+	policy  *Policy
+	clock   Clock
+	metrics *obs.Registry
+
+	mu       sync.Mutex
+	seq      uint64              // guarded by mu
+	bursts   map[string]*burst   // guarded by mu
+	breakers map[string]*breaker // guarded by mu
+	spent    time.Duration       // guarded by mu
+}
+
+// NewSession builds a session for one analysis. seed is the message's
+// deterministic seed (MessageSpec.ID); clock is the analysis's virtual
+// clock fork; metrics may be nil (counters are then dropped).
+func NewSession(p *Policy, seed int64, clock Clock, metrics *obs.Registry) *Session {
+	return &Session{
+		policy:   p,
+		clock:    clock,
+		metrics:  metrics,
+		seq:      splitmix64(uint64(seed)),
+		bursts:   map[string]*burst{},
+		breakers: map[string]*breaker{},
+	}
+}
+
+// splitmix64 is the finalizer behind the session's draw stream — the same
+// construction as the pipeline's mixSeed, so per-message schedules are
+// well-spread even for consecutive message IDs.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// nextRand draws the next value of the session stream. Caller holds mu.
+func (s *Session) nextRand() uint64 {
+	//cblint:ignore guarded locked-section helper: every caller holds s.mu
+	s.seq = splitmix64(s.seq)
+	//cblint:ignore guarded locked-section helper: every caller holds s.mu
+	return s.seq
+}
+
+// nextFloat draws a uniform float64 in [0,1). Caller holds mu.
+func (s *Session) nextFloat() float64 {
+	return float64(s.nextRand()>>11) / float64(1<<53)
+}
+
+// Draw consumes the next fault-schedule decision for host: the continuation
+// of an active burst, a freshly drawn burst with probability FaultRate, or
+// no fault. webnet.Internet calls it once per round trip. Nil-safe: a nil
+// session never faults.
+func (s *Session) Draw(host string) Fault {
+	if s == nil {
+		return Fault{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b := s.bursts[host]; b != nil && b.left > 0 {
+		b.left--
+		return b.fault
+	}
+	if s.policy.FaultRate <= 0 || s.nextFloat() >= s.policy.FaultRate {
+		return Fault{}
+	}
+	f := s.drawFault()
+	length := 1
+	if s.policy.MaxBurst > 1 {
+		length = 1 + int(s.nextRand()%uint64(s.policy.MaxBurst))
+	}
+	s.bursts[host] = &burst{fault: f, left: length - 1}
+	return f
+}
+
+// drawFault picks the burst's fault kind: 30% NXDOMAIN flap, 30% reset,
+// 20% slow-start, 20% 5xx. Caller holds mu.
+func (s *Session) drawFault() Fault {
+	switch roll := s.nextRand() % 100; {
+	case roll < 30:
+		return Fault{Kind: FaultNXDomain}
+	case roll < 60:
+		return Fault{Kind: FaultReset}
+	case roll < 80:
+		return Fault{Kind: FaultSlowStart, Stall: s.policy.SlowStall}
+	default:
+		return Fault{Kind: Fault5xx, Status: 503}
+	}
+}
+
+// Allow reports whether the breaker admits a request to host, transitioning
+// an open circuit to half-open once the cool-down has elapsed on the
+// virtual clock. A denial is counted as a short-circuit. Nil-safe: a nil
+// session always admits.
+func (s *Session) Allow(host string) bool {
+	if s == nil {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	br := s.breakers[host]
+	if br == nil || br.state == breakerClosed || br.state == breakerHalfOpen {
+		return true
+	}
+	if s.clock.Now().Sub(br.openedAt) >= s.policy.BreakerCooldown {
+		br.state = breakerHalfOpen
+		s.metrics.Inc("crawlerbox_breaker_halfopen_total")
+		return true
+	}
+	s.metrics.Inc("crawlerbox_breaker_shortcircuit_total")
+	return false
+}
+
+// ReportFailure records a failed round trip to host: it counts toward the
+// consecutive-failure threshold while closed, and re-opens a half-open
+// circuit whose probe failed.
+func (s *Session) ReportFailure(host string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	br := s.breakers[host]
+	if br == nil {
+		br = &breaker{}
+		s.breakers[host] = br
+	}
+	switch br.state {
+	case breakerClosed:
+		br.fails++
+		if br.fails >= s.policy.BreakerThreshold {
+			br.state = breakerOpen
+			br.openedAt = s.clock.Now()
+			br.fails = 0
+			s.metrics.Inc("crawlerbox_breaker_open_total")
+		}
+	case breakerHalfOpen:
+		br.state = breakerOpen
+		br.openedAt = s.clock.Now()
+		s.metrics.Inc("crawlerbox_breaker_open_total")
+	}
+}
+
+// ReportSuccess records a successful round trip to host: it resets the
+// consecutive-failure count and closes a half-open circuit whose probe
+// succeeded.
+func (s *Session) ReportSuccess(host string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	br := s.breakers[host]
+	if br == nil {
+		return
+	}
+	if br.state == breakerHalfOpen {
+		br.state = breakerClosed
+		s.metrics.Inc("crawlerbox_breaker_close_total")
+	}
+	br.fails = 0
+}
+
+// NextBackoff grants the wait before retry number attempt (1-based): the
+// exponential step with deterministic jitter, charged against the stage
+// budget. It returns false — no retry — when attempt exceeds RetryMax or
+// the wait would overdraw the budget. The caller charges the returned
+// duration to the analysis's virtual clock; the session never sleeps.
+func (s *Session) NextBackoff(attempt int) (time.Duration, bool) {
+	if s == nil {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if attempt > s.policy.RetryMax {
+		return 0, false
+	}
+	step := s.policy.BackoffBase << (attempt - 1)
+	if step > s.policy.BackoffMax || step <= 0 {
+		step = s.policy.BackoffMax
+	}
+	d := step
+	if s.policy.JitterFrac > 0 {
+		window := time.Duration(float64(step) * s.policy.JitterFrac)
+		d = step - window/2 + time.Duration(s.nextFloat()*float64(window))
+	}
+	if s.spent+d > s.policy.StageBudget {
+		return 0, false
+	}
+	s.spent += d
+	s.metrics.Inc("crawlerbox_retries_total")
+	return d, true
+}
+
+// ResetBudget restores the full stage backoff budget. The pipeline calls it
+// at every stage boundary.
+func (s *Session) ResetBudget() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spent = 0
+}
+
+// RecordRecovered counts an operation that succeeded after at least one
+// retry — the "retried-then-recovered" signal of the fault-recovery table.
+func (s *Session) RecordRecovered() {
+	if s == nil {
+		return
+	}
+	s.metrics.Inc("crawlerbox_retry_recovered_total")
+}
+
+// RecordExhausted counts an operation abandoned with its retry budget spent
+// or its breaker open — the graceful-degradation signal that can downgrade
+// a message to OutcomePartial.
+func (s *Session) RecordExhausted() {
+	if s == nil {
+		return
+	}
+	s.metrics.Inc("crawlerbox_retry_exhausted_total")
+}

@@ -1,0 +1,274 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// stubClock is a settable virtual clock for breaker cool-down tests.
+type stubClock struct{ t time.Time }
+
+func (c *stubClock) Now() time.Time          { return c.t }
+func (c *stubClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newStubClock() *stubClock               { return &stubClock{t: time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)} }
+func newTestSession(p *Policy, seed int64) (*Session, *stubClock) {
+	c := newStubClock()
+	return NewSession(p, seed, c, nil), c
+}
+
+func TestNilSessionIsPermissive(t *testing.T) {
+	var s *Session
+	if f := s.Draw("h.example"); f.Kind != FaultNone {
+		t.Errorf("nil Draw = %+v", f)
+	}
+	if !s.Allow("h.example") {
+		t.Error("nil Allow must admit")
+	}
+	if d, ok := s.NextBackoff(1); ok || d != 0 {
+		t.Errorf("nil NextBackoff = %v, %v", d, ok)
+	}
+	// The remaining methods must simply not panic.
+	s.ReportFailure("h.example")
+	s.ReportSuccess("h.example")
+	s.ResetBudget()
+	s.RecordRecovered()
+	s.RecordExhausted()
+}
+
+func TestDrawRateZeroAndOne(t *testing.T) {
+	off := DefaultPolicy()
+	off.FaultRate = 0
+	s, _ := newTestSession(off, 1)
+	for i := 0; i < 1000; i++ {
+		if f := s.Draw("h.example"); f.Kind != FaultNone {
+			t.Fatalf("rate-0 draw %d = %v", i, f.Kind)
+		}
+	}
+	always := DefaultPolicy()
+	always.FaultRate = 1
+	s, _ = newTestSession(always, 1)
+	for i := 0; i < 100; i++ {
+		if f := s.Draw("h.example"); f.Kind == FaultNone {
+			t.Fatalf("rate-1 draw %d produced no fault", i)
+		}
+	}
+}
+
+func TestDrawScheduleIsSeedDeterministic(t *testing.T) {
+	draw := func(seed int64) []FaultKind {
+		s, _ := newTestSession(DefaultPolicy(), seed)
+		out := make([]FaultKind, 200)
+		for i := range out {
+			out[i] = s.Draw(fmt.Sprintf("host-%d.example", i%7)).Kind
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestDrawBurstPersistsPerHost(t *testing.T) {
+	p := DefaultPolicy()
+	p.FaultRate = 1 // every fresh draw starts a burst
+	s, _ := newTestSession(p, 7)
+	// A burst pins the same fault kind on consecutive requests to one host,
+	// while an independent host draws its own schedule.
+	first := s.Draw("a.example")
+	if first.Kind == FaultNone {
+		t.Fatal("rate-1 draw returned no fault")
+	}
+	burstLen := 1
+	for i := 0; i < p.MaxBurst; i++ {
+		f := s.Draw("a.example")
+		if f.Kind != first.Kind {
+			break // burst over, a new one started with a fresh kind draw
+		}
+		burstLen++
+	}
+	if burstLen > p.MaxBurst {
+		t.Errorf("burst ran %d draws, max %d", burstLen, p.MaxBurst)
+	}
+}
+
+func TestNextBackoffScheduleAndBudget(t *testing.T) {
+	p := DefaultPolicy()
+	p.JitterFrac = 0 // exact steps
+	s, _ := newTestSession(p, 1)
+	want := []time.Duration{250 * time.Millisecond, 500 * time.Millisecond, time.Second}
+	for i, w := range want {
+		d, ok := s.NextBackoff(i + 1)
+		if !ok || d != w {
+			t.Errorf("NextBackoff(%d) = %v, %v; want %v, true", i+1, d, ok, w)
+		}
+	}
+	if _, ok := s.NextBackoff(p.RetryMax + 1); ok {
+		t.Error("NextBackoff beyond RetryMax must refuse")
+	}
+
+	// Budget: a tight budget refuses mid-schedule, ResetBudget restores it.
+	p2 := DefaultPolicy()
+	p2.JitterFrac = 0
+	p2.StageBudget = 600 * time.Millisecond
+	s2, _ := newTestSession(p2, 1)
+	if _, ok := s2.NextBackoff(1); !ok {
+		t.Fatal("first backoff must fit the budget")
+	}
+	if _, ok := s2.NextBackoff(2); ok {
+		t.Error("250ms+500ms overdraws the 600ms budget")
+	}
+	s2.ResetBudget()
+	if _, ok := s2.NextBackoff(2); !ok {
+		t.Error("after ResetBudget the 500ms step must fit again")
+	}
+}
+
+func TestNextBackoffJitterBoundsAndDeterminism(t *testing.T) {
+	p := DefaultPolicy()
+	s1, _ := newTestSession(p, 99)
+	s2, _ := newTestSession(p, 99)
+	for attempt := 1; attempt <= p.RetryMax; attempt++ {
+		d1, ok1 := s1.NextBackoff(attempt)
+		d2, ok2 := s2.NextBackoff(attempt)
+		if d1 != d2 || ok1 != ok2 {
+			t.Errorf("attempt %d: same-seed jitter diverges: %v vs %v", attempt, d1, d2)
+		}
+		step := p.BackoffBase << (attempt - 1)
+		window := time.Duration(float64(step) * p.JitterFrac)
+		if d1 < step-window/2 || d1 >= step+window/2+window {
+			t.Errorf("attempt %d: %v outside jitter bounds around %v", attempt, d1, step)
+		}
+	}
+}
+
+func TestBackoffStepCapped(t *testing.T) {
+	p := DefaultPolicy()
+	p.JitterFrac = 0
+	p.RetryMax = 10
+	p.StageBudget = time.Hour
+	s, _ := newTestSession(p, 1)
+	for attempt := 1; attempt <= p.RetryMax; attempt++ {
+		d, ok := s.NextBackoff(attempt)
+		if !ok {
+			t.Fatalf("attempt %d refused under an hour budget", attempt)
+		}
+		if d > p.BackoffMax {
+			t.Errorf("attempt %d: step %v exceeds cap %v", attempt, d, p.BackoffMax)
+		}
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	p := DefaultPolicy()
+	s, clock := newTestSession(p, 1)
+	const host = "flaky.example"
+
+	// Closed: admits until BreakerThreshold consecutive failures.
+	for i := 0; i < p.BreakerThreshold; i++ {
+		if !s.Allow(host) {
+			t.Fatalf("closed breaker denied request %d", i)
+		}
+		s.ReportFailure(host)
+	}
+	if s.Allow(host) {
+		t.Fatal("breaker must be open after threshold failures")
+	}
+
+	// Open: denies until the cool-down elapses on the virtual clock.
+	clock.advance(p.BreakerCooldown - time.Second)
+	if s.Allow(host) {
+		t.Fatal("breaker admitted before cool-down elapsed")
+	}
+	clock.advance(2 * time.Second)
+	if !s.Allow(host) {
+		t.Fatal("breaker must go half-open after cool-down")
+	}
+
+	// Half-open probe fails: re-open immediately.
+	s.ReportFailure(host)
+	if s.Allow(host) {
+		t.Fatal("failed half-open probe must re-open the circuit")
+	}
+
+	// Another cool-down, successful probe: closed again.
+	clock.advance(p.BreakerCooldown)
+	if !s.Allow(host) {
+		t.Fatal("second half-open probe denied")
+	}
+	s.ReportSuccess(host)
+	if !s.Allow(host) {
+		t.Fatal("breaker must be closed after successful probe")
+	}
+	// And the failure count restarted from zero.
+	for i := 0; i < p.BreakerThreshold-1; i++ {
+		s.ReportFailure(host)
+	}
+	if !s.Allow(host) {
+		t.Fatal("closed breaker re-opened below threshold")
+	}
+
+	// Success while closed resets the consecutive count.
+	s.ReportSuccess(host)
+	for i := 0; i < p.BreakerThreshold-1; i++ {
+		s.ReportFailure(host)
+	}
+	if !s.Allow(host) {
+		t.Fatal("consecutive count must reset on success")
+	}
+
+	// Breakers are per host.
+	if !s.Allow("healthy.example") {
+		t.Fatal("unrelated host affected by another host's breaker")
+	}
+}
+
+func TestExhaustedErrorTaxonomy(t *testing.T) {
+	inner := errors.New("webnet: boom")
+	err := error(&ExhaustedError{Attempts: 4, Err: inner})
+	if !errors.Is(err, ErrExhausted) {
+		t.Error("ExhaustedError must match ErrExhausted")
+	}
+	if !errors.Is(err, inner) {
+		t.Error("ExhaustedError must unwrap to the final attempt's error")
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Attempts != 4 {
+		t.Errorf("errors.As lost the attempt count: %+v", ex)
+	}
+	if errors.Is(err, ErrCircuitOpen) {
+		t.Error("ExhaustedError must not match ErrCircuitOpen")
+	}
+}
+
+func TestFaultKindStrings(t *testing.T) {
+	want := map[FaultKind]string{
+		FaultNone:      "none",
+		FaultNXDomain:  "nxdomain-flap",
+		FaultReset:     "reset",
+		FaultSlowStart: "slow-start",
+		Fault5xx:       "5xx",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("FaultKind(%d) = %q, want %q", k, k.String(), s)
+		}
+	}
+	if (Fault5xx + 1).String() != "unknown" {
+		t.Error("sentinel fault kind must be unknown")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"crawlerbox/internal/obs"
+	"crawlerbox/internal/resilience"
 )
 
 // IPClass is the provenance class of an IP address — the attribute
@@ -51,6 +52,9 @@ var (
 	// ErrTimeout indicates the server accepted the connection but never
 	// responded (a hung or tarpitted endpoint).
 	ErrTimeout = errors.New("webnet: request timed out")
+	// ErrReset indicates the connection was established and then torn down
+	// before a response arrived (an injected transient reset).
+	ErrReset = errors.New("webnet: connection reset")
 )
 
 // Certificate is one TLS certificate record, also the CT log entry shape.
@@ -91,6 +95,13 @@ type Request struct {
 	// charged to — the per-request Clock override when present — so a
 	// forked-clock visit's span timeline matches its analysis baseline.
 	Trace *obs.Trace
+	// Faults, when set, is the caller's per-analysis resilience session:
+	// its seeded schedule may replace this round trip with a transient
+	// fault (DNS flap, reset, slow start, 5xx). The draw consumes the
+	// session's deterministic stream, so injected faults depend only on the
+	// message seed and the analysis's own request order — never on other
+	// analyses — preserving byte-identical corpus runs at any worker count.
+	Faults *resilience.Session
 }
 
 // Header returns a request header (case-insensitive).
@@ -476,18 +487,19 @@ func (n *Internet) Unserve(host string) {
 }
 
 // Do performs one HTTP round trip: DNS resolution (logged), server lookup,
-// handler dispatch, latency accounting, and traffic logging.
-func (n *Internet) Do(req *Request) (*Response, error) {
-	//cblint:ignore ctxflow Do is the documented no-cancellation convenience wrapper around DoCtx
-	return n.DoCtx(context.Background(), req)
-}
-
-// DoCtx is Do with cancellation: the round trip is abandoned before DNS
-// resolution when ctx is done. Latency is charged to req.Clock when the
-// request carries one, otherwise to the shared clock — and the request
-// span's timeline reads that same clock, so forked-clock visits trace on
-// their own analysis timeline, never the Internet's.
-func (n *Internet) DoCtx(ctx context.Context, req *Request) (*Response, error) {
+// handler dispatch, latency accounting, and traffic logging. The round trip
+// is abandoned before DNS resolution when ctx is done. Latency is charged
+// to req.Clock when the request carries one, otherwise to the shared
+// clock — and the request span's timeline reads that same clock, so
+// forked-clock visits trace on their own analysis timeline, never the
+// Internet's.
+//
+// When the request carries a resilience session, its seeded schedule is
+// consulted first: an injected fault preempts the real exchange (a DNS flap
+// surfaces before resolution; resets, slow starts, and 5xx bursts after the
+// latency charge), is tagged on the request span ("fault" attribute), and
+// feeds webnet_faults_injected_total.
+func (n *Internet) Do(ctx context.Context, req *Request) (*Response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -499,7 +511,21 @@ func (n *Internet) DoCtx(ctx context.Context, req *Request) (*Response, error) {
 	// Span names record method + host + path only: query strings can carry
 	// schedule-dependent tokens, which would break trace determinism.
 	span := req.Trace.StartAt(obs.SpanRequest, req.Method+" https://"+req.Host+req.Path, clock.Now())
+	fault := req.Faults.Draw(req.Host)
+	if fault.Kind != resilience.FaultNone {
+		n.Metrics.Inc("webnet_faults_injected_total", "kind", fault.Kind.String())
+		span.SetAttr("fault", fault.Kind.String())
+	}
 	n.Metrics.Inc("webnet_dns_queries_total")
+	if fault.Kind == resilience.FaultNXDomain {
+		// The flap happens at the resolver: the query never reaches the
+		// zone, so no passive-DNS observation is recorded and the host's
+		// real record is untouched.
+		dns := req.Trace.StartAt(obs.SpanDNS, "resolve "+req.Host, clock.Now())
+		n.finishSpan(dns, clock, "nxdomain")
+		n.finishSpan(span, clock, "nxdomain")
+		return nil, fmt.Errorf("resolving %q: transient flap: %w", req.Host, ErrNXDomain)
+	}
 	dns := req.Trace.StartAt(obs.SpanDNS, "resolve "+req.Host, clock.Now())
 	if _, err := n.resolveAt(req.Host, req.ClientIP, clock.Now()); err != nil {
 		n.finishSpan(dns, clock, "nxdomain")
@@ -513,6 +539,34 @@ func (n *Internet) DoCtx(ctx context.Context, req *Request) (*Response, error) {
 	n.mu.Unlock()
 	clock.Advance(latency)
 	n.Metrics.Observe("webnet_request_latency_ns", float64(latency))
+	switch fault.Kind {
+	case resilience.FaultReset:
+		n.logExchange(req, 0, clock.Now())
+		n.finishSpan(span, clock, "reset")
+		return nil, fmt.Errorf("connecting to %q: %w", req.Host, ErrReset)
+	case resilience.FaultSlowStart:
+		clock.Advance(fault.Stall)
+		n.logExchange(req, 0, clock.Now())
+		n.finishSpan(span, clock, "timeout")
+		return nil, fmt.Errorf("waiting for %q: slow start: %w", req.Host, ErrTimeout)
+	case resilience.Fault5xx:
+		// The origin answers with an overload status before the handler
+		// ever sees the request.
+		resp := &Response{
+			Status:  fault.Status,
+			Headers: map[string]string{"Retry-After": "1"},
+			Body:    []byte("503 service unavailable\n"),
+		}
+		n.logExchange(req, resp.Status, clock.Now())
+		n.Metrics.Inc("webnet_requests_total", "status", statusClass(resp.Status))
+		n.Metrics.Add("webnet_response_bytes_total", float64(len(resp.Body)))
+		if span != nil {
+			span.SetAttr("status", strconv.Itoa(resp.Status))
+			span.SetAttr("bytes", strconv.Itoa(len(resp.Body)))
+			span.EndAt(clock.Now())
+		}
+		return resp, nil
+	}
 	if !ok {
 		n.logExchange(req, 0, clock.Now())
 		n.finishSpan(span, clock, "unreachable")

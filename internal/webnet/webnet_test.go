@@ -1,6 +1,7 @@
 package webnet
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -150,7 +151,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 		}
 		return &Response{Status: 404, Body: []byte("not found")}
 	})
-	resp, err := n.Do(&Request{Method: "GET", Host: "site.example", Path: "/login", ClientIP: "10.1.1.1"})
+	resp, err := n.Do(context.Background(), &Request{Method: "GET", Host: "site.example", Path: "/login", ClientIP: "10.1.1.1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if resp.Header("content-type") != "text/html" {
 		t.Errorf("header lookup should be case-insensitive")
 	}
-	resp, err = n.Do(&Request{Method: "GET", Host: "site.example", Path: "/other", ClientIP: "10.1.1.1"})
+	resp, err = n.Do(context.Background(), &Request{Method: "GET", Host: "site.example", Path: "/other", ClientIP: "10.1.1.1"})
 	if err != nil || resp.Status != 404 {
 		t.Errorf("404 path: %v %v", resp, err)
 	}
@@ -168,16 +169,16 @@ func TestHTTPRoundTrip(t *testing.T) {
 
 func TestHTTPErrors(t *testing.T) {
 	n := newNet()
-	if _, err := n.Do(&Request{Host: "nxdomain.example", Path: "/"}); !errors.Is(err, ErrNXDomain) {
+	if _, err := n.Do(context.Background(), &Request{Host: "nxdomain.example", Path: "/"}); !errors.Is(err, ErrNXDomain) {
 		t.Errorf("err = %v, want NXDOMAIN", err)
 	}
 	n.AddDNS("deadhost.example", "198.18.1.1")
-	if _, err := n.Do(&Request{Host: "deadhost.example", Path: "/"}); !errors.Is(err, ErrUnreachable) {
+	if _, err := n.Do(context.Background(), &Request{Host: "deadhost.example", Path: "/"}); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("err = %v, want unreachable", err)
 	}
 	n.AddDNS("tarpit.example", "198.18.1.2")
 	n.Serve("tarpit.example", func(*Request) *Response { return nil })
-	if _, err := n.Do(&Request{Host: "tarpit.example", Path: "/"}); !errors.Is(err, ErrTimeout) {
+	if _, err := n.Do(context.Background(), &Request{Host: "tarpit.example", Path: "/"}); !errors.Is(err, ErrTimeout) {
 		t.Errorf("err = %v, want timeout", err)
 	}
 }
@@ -187,7 +188,7 @@ func TestHTTPLatencyAdvancesClock(t *testing.T) {
 	n.AddDNS("x.example", "198.18.1.3")
 	n.Serve("x.example", func(*Request) *Response { return &Response{Status: 200} })
 	before := n.Clock.Now()
-	if _, err := n.Do(&Request{Host: "x.example", Path: "/"}); err != nil {
+	if _, err := n.Do(context.Background(), &Request{Host: "x.example", Path: "/"}); err != nil {
 		t.Fatal(err)
 	}
 	if got := n.Clock.Now().Sub(before); got != n.RequestLatency {
@@ -209,7 +210,7 @@ func TestTrafficLogAndReferralAnalysis(t *testing.T) {
 		Headers:  map[string]string{"Referer": "https://evil-login.buzz/portal"},
 		ClientIP: "10.9.9.9",
 	}
-	if _, err := n.Do(req); err != nil {
+	if _, err := n.Do(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
 	exchanges := n.TrafficTo("brand.example")
