@@ -4,9 +4,9 @@ GO ?= go
 # benchmark so BENCH_$(PR).json carries mean/min/max per metric.
 BENCHTIME ?= 0.2s
 BENCHCOUNT ?= 5
-PR ?= 5
+PR ?= 7
 
-.PHONY: check build vet lint test race bench benchquick tracecheck
+.PHONY: check build vet lint test race bench bench-scale benchquick tracecheck
 
 # check is the repository's quality gate (DESIGN.md §7): compile, vet, the
 # cblint invariant linter (DESIGN.md §9), the full test suite (plain and
@@ -62,3 +62,13 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) . \
 		| $(GO) run ./cmd/benchjson -o BENCH_$(PR).json -metrics $$tmp/metrics.prom && \
 	rm -rf $$tmp
+
+# bench-scale runs the streamed-analysis scaling probe at n=1k/10k/100k
+# (workers 1/4/8, evidence store armed) and folds the results into
+# BENCH_$(PR).json alongside the regular suite: benchjson -merge carries the
+# existing document's entries and overwrites only the re-measured ones. The
+# 100k rungs take a minute or two each; run make bench first, then this.
+bench-scale:
+	CRAWLERBOX_BENCH_SCALE=1 $(GO) test -run='^$$' \
+		-bench=BenchmarkAnalyzeThroughputAtN -benchtime=1x -count=1 -timeout=60m . \
+		| $(GO) run ./cmd/benchjson -o BENCH_$(PR).json -merge BENCH_$(PR).json

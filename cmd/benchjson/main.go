@@ -91,6 +91,30 @@ func loadMetrics(path string) (map[string]float64, error) {
 	return out, nil
 }
 
+// mergeInto seeds rep with the benchmarks (and metrics, absent a fresh
+// -metrics dump) of a previously written BENCH json, so a partial re-run —
+// e.g. make bench-scale after make bench — augments the document instead of
+// clobbering it. Benchmarks re-measured on stdin overwrite the carried
+// entries; a missing file is not an error (first run).
+func mergeInto(rep *report, path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var old report
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	for name, stats := range old.Benchmarks {
+		rep.Benchmarks[name] = stats
+	}
+	rep.Metrics = old.Metrics
+	return nil
+}
+
 // metricKey maps a benchmark output unit to a stable JSON key.
 func metricKey(unit string) string {
 	switch unit {
@@ -143,11 +167,18 @@ func parseLine(line string) (string, map[string]float64, bool) {
 func main() {
 	out := flag.String("o", "BENCH.json", "output JSON path")
 	metricsPath := flag.String("metrics", "", "Prometheus text dump to embed in the report")
+	mergePath := flag.String("merge", "", "existing BENCH json whose benchmarks carry over unless re-measured on stdin")
 	flag.Parse()
 
 	results := map[string]*benchResult{}
 	var order []string
 	rep := &report{Schema: "crawlerbox-bench/v1", Benchmarks: map[string]map[string]*metricStat{}}
+	if *mergePath != "" {
+		if err := mergeInto(rep, *mergePath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: merge:", err)
+			os.Exit(1)
+		}
+	}
 	if *metricsPath != "" {
 		m, err := loadMetrics(*metricsPath)
 		if err != nil {
@@ -225,5 +256,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(order), *out)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s (%d measured, %d carried over)\n",
+		len(rep.Benchmarks), *out, len(order), len(rep.Benchmarks)-len(order))
 }

@@ -9,13 +9,16 @@
 //
 //	crawlerbox [-dir DIR] [-seed N] [-scale F] [-n N] [-workers N]
 //	           [-trace FILE] [-metrics FILE] [-faults F] [-retry-max N]
-//	           [-breaker-threshold N]
+//	           [-breaker-threshold N] [-evidence FILE]
 //
 // -trace writes one JSONL span record per line (virtual-time timestamps,
 // byte-identical for any -workers value); -metrics writes a Prometheus text
 // dump. Render either with cmd/obsreport. -faults injects seeded transient
 // network faults recovered through virtual-clock retries and per-host
 // circuit breakers (tune with -retry-max and -breaker-threshold).
+// -evidence spills bulky evidence (visit records, logged traffic) to an
+// append-only store instead of holding it in RAM; the printed summary
+// lines are byte-identical either way.
 package main
 
 import (
@@ -49,7 +52,10 @@ func run() error {
 	shared := climain.Register(flag.CommandLine)
 	flag.Parse()
 
-	corpus, err := dataset.Generate(dataset.Config{Seed: *seed, Scale: *scale})
+	// Stream, not Generate: the world (sites, DNS, brand pages) deploys
+	// either way, but message bytes render lazily one at a time, so the
+	// corpus never sits fully materialized in RAM.
+	corpus, err := dataset.Stream(dataset.Config{Seed: *seed, Scale: *scale})
 	if err != nil {
 		return err
 	}
@@ -60,6 +66,14 @@ func run() error {
 		corpus.Net.Metrics = observer.Metrics
 	}
 	pipe.Resilience = shared.Policy()
+	store, err := shared.EvidenceStore()
+	if err != nil {
+		return err
+	}
+	if store != nil {
+		defer store.Close()
+		corpus.Net.SpillTrafficTo(store)
+	}
 	for _, b := range phishkit.StudyBrands {
 		if err := pipe.AddReference(context.Background(), b.Name, corpus.BrandURLs[b.Name]); err != nil {
 			return err
@@ -67,8 +81,6 @@ func run() error {
 	}
 	corpus.Net.Clock.Set(time.Date(2024, 11, 1, 0, 0, 0, 0, time.UTC))
 
-	var messages [][]byte
-	var names []string
 	if *dir != "" {
 		entries, err := os.ReadDir(*dir)
 		if err != nil {
@@ -81,51 +93,85 @@ func run() error {
 			}
 		}
 		sort.Strings(files)
-		for _, f := range files {
+		if *limit > 0 && len(files) > *limit {
+			files = files[:*limit]
+		}
+		specs := make([]crawlerbox.MessageSpec, len(files))
+		for i, f := range files {
 			raw, err := os.ReadFile(filepath.Join(*dir, f))
 			if err != nil {
 				return err
 			}
-			messages = append(messages, raw)
-			names = append(names, f)
+			specs[i] = crawlerbox.MessageSpec{Raw: raw, ID: int64(i + 1)}
 		}
-	} else {
-		for i, m := range corpus.Messages {
-			messages = append(messages, m.Raw)
-			names = append(names, fmt.Sprintf("corpus-%05d", i))
+		for i, res := range pipe.AnalyzeCorpus(context.Background(), specs, *shared.Workers) {
+			// The summary line never reads Visits, so spilling first is safe.
+			if err := crawlerbox.SpillEvidence(store, res.Analysis); err != nil {
+				return err
+			}
+			fmt.Println(resultLine(files[i], res))
 		}
-	}
-	if *limit > 0 && len(messages) > *limit {
-		messages = messages[:*limit]
-		names = names[:*limit]
+		return shared.WriteExports(observer)
 	}
 
-	specs := make([]crawlerbox.MessageSpec, len(messages))
-	for i, raw := range messages {
-		specs[i] = crawlerbox.MessageSpec{Raw: raw, ID: int64(i + 1)}
+	// Corpus mode streams: specs render one message at a time through
+	// Corpus.Each and flow into the bounded worker pool; only the one-line
+	// summaries are buffered (to restore message order), never the corpus.
+	count := corpus.Len()
+	if *limit > 0 && *limit < count {
+		count = *limit
 	}
-	for i, res := range pipe.AnalyzeCorpus(context.Background(), specs, *shared.Workers) {
-		if res.Err != nil {
-			fmt.Printf("%-16s ERROR %v\n", names[i], res.Err)
-			continue
+	specs := make(chan crawlerbox.IndexedSpec, *shared.Workers)
+	go func() {
+		defer close(specs)
+		corpus.Each(func(i int, m *dataset.Message) bool {
+			if i >= count {
+				return false
+			}
+			specs <- crawlerbox.IndexedSpec{Index: i, Spec: crawlerbox.MessageSpec{Raw: m.Raw, ID: int64(i + 1)}}
+			return true
+		})
+	}()
+	lines := make([]string, count)
+	spillErrs := make([]error, max(*shared.Workers, 1))
+	pipe.AnalyzeStream(context.Background(), specs, *shared.Workers, func(w int, res crawlerbox.CorpusResult) {
+		// The summary line never reads Visits, so spilling first is safe.
+		if err := crawlerbox.SpillEvidence(store, res.Analysis); err != nil && spillErrs[w] == nil {
+			spillErrs[w] = err
 		}
-		ma := res.Analysis
-		line := fmt.Sprintf("%-16s %-20s urls=%d", names[i], ma.Outcome, len(ma.Parse.URLs))
-		if ma.Outcome == crawlerbox.OutcomeError {
-			line += " err=" + ma.ErrorKind.String()
+		lines[res.Index] = resultLine(fmt.Sprintf("corpus-%05d", res.Index), res)
+	})
+	for _, err := range spillErrs {
+		if err != nil {
+			return err
 		}
-		if ma.SpearPhish {
-			line += " spear[" + ma.Brand + "]"
-		}
-		if ma.Landing != nil {
-			line += " landing=" + ma.Landing.Host
-		}
-		if cloaks := cloakSummary(ma); cloaks != "" {
-			line += " cloaks={" + cloaks + "}"
-		}
+	}
+	for _, line := range lines {
 		fmt.Println(line)
 	}
 	return shared.WriteExports(observer)
+}
+
+// resultLine formats one analysis result as the tool's summary line.
+func resultLine(name string, res crawlerbox.CorpusResult) string {
+	if res.Err != nil {
+		return fmt.Sprintf("%-16s ERROR %v", name, res.Err)
+	}
+	ma := res.Analysis
+	line := fmt.Sprintf("%-16s %-20s urls=%d", name, ma.Outcome, len(ma.Parse.URLs))
+	if ma.Outcome == crawlerbox.OutcomeError {
+		line += " err=" + ma.ErrorKind.String()
+	}
+	if ma.SpearPhish {
+		line += " spear[" + ma.Brand + "]"
+	}
+	if ma.Landing != nil {
+		line += " landing=" + ma.Landing.Host
+	}
+	if cloaks := cloakSummary(ma); cloaks != "" {
+		line += " cloaks={" + cloaks + "}"
+	}
+	return line
 }
 
 func cloakSummary(ma *crawlerbox.MessageAnalysis) string {

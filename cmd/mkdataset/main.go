@@ -34,7 +34,9 @@ func run() error {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
 	}
-	c, err := dataset.Generate(dataset.Config{Seed: *seed, Scale: *scale})
+	// Stream renders one message at a time straight to disk, so writing
+	// even a full-scale corpus never holds more than one message in RAM.
+	c, err := dataset.Stream(dataset.Config{Seed: *seed, Scale: *scale})
 	if err != nil {
 		return err
 	}
@@ -44,15 +46,21 @@ func run() error {
 	}
 	defer func() { _ = manifest.Close() }()
 	fmt.Fprintln(manifest, "file\tdelivered\tcategory\tspear\tbrand\turl")
-	for i, m := range c.Messages {
+	var writeErr error
+	c.Each(func(i int, m *dataset.Message) bool {
 		name := fmt.Sprintf("msg-%05d.eml", i)
 		if err := os.WriteFile(filepath.Join(*out, name), m.Raw, 0o644); err != nil {
-			return err
+			writeErr = err
+			return false
 		}
 		fmt.Fprintf(manifest, "%s\t%s\t%s\t%v\t%s\t%s\n",
 			name, m.Delivered.Format("2006-01-02T15:04:05Z"),
 			m.Category, m.Spear, m.Brand, m.URL)
+		return true
+	})
+	if writeErr != nil {
+		return writeErr
 	}
-	fmt.Printf("wrote %d messages and manifest.tsv to %s\n", len(c.Messages), *out)
+	fmt.Printf("wrote %d messages and manifest.tsv to %s\n", c.Len(), *out)
 	return nil
 }

@@ -6,6 +6,7 @@
 //
 //	report [-seed N] [-scale F] [-workers N] [-only table1|table2|fig2|fig3|disposition|spear|nontargeted|cloaks]
 //	       [-trace FILE] [-metrics FILE] [-faults F] [-retry-max N] [-breaker-threshold N]
+//	       [-evidence FILE]
 //
 // At -scale 1.0 (the default) the corpus holds 5,181 messages and the full
 // run takes a few seconds. -workers parallelizes the per-message analysis;
@@ -15,7 +16,10 @@
 // injects seeded transient network faults (NXDOMAIN flaps, resets, slow
 // starts, 5xx bursts) recovered through virtual-clock retries and per-host
 // circuit breakers; messages the recovery layer gave up on land in the
-// partial-evidence disposition row.
+// partial-evidence disposition row. -evidence spills bulky evidence (visit
+// records, logged traffic) to an append-only store so resident memory
+// stays flat however large -scale makes the corpus; every aggregate is
+// byte-identical with or without it.
 package main
 
 import (
@@ -57,16 +61,29 @@ func run() error {
 	}
 
 	fmt.Printf("Generating corpus (seed=%d scale=%.2f)...\n", *seed, *scale)
-	c, err := dataset.Generate(dataset.Config{Seed: *seed, Scale: *scale})
+	// Stream, not Generate: specs render lazily into the worker pool and
+	// aggregates fold through per-worker census shards, so peak memory is
+	// O(workers) however large -scale makes the corpus.
+	c, err := dataset.Stream(dataset.Config{Seed: *seed, Scale: *scale})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Analyzing %d messages with CrawlerBox (%d workers)...\n\n", len(c.Messages), *shared.Workers)
+	fmt.Printf("Analyzing %d messages with CrawlerBox (%d workers)...\n\n", c.Len(), *shared.Workers)
 	observer := shared.Observer()
-	run, err := report.Analyze(context.Background(), c,
+	opts := []report.Option{
 		report.WithWorkers(*shared.Workers),
 		report.WithObserver(observer),
-		report.WithResilience(shared.Policy()))
+		report.WithResilience(shared.Policy()),
+	}
+	store, err := shared.EvidenceStore()
+	if err != nil {
+		return err
+	}
+	if store != nil {
+		defer store.Close()
+		opts = append(opts, report.WithEvidenceStore(store))
+	}
+	run, err := report.Analyze(context.Background(), c, opts...)
 	if err != nil {
 		return err
 	}

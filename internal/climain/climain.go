@@ -13,6 +13,7 @@ import (
 	"os"
 	"runtime"
 
+	"crawlerbox/internal/evstore"
 	"crawlerbox/internal/obs"
 	"crawlerbox/internal/resilience"
 )
@@ -33,6 +34,9 @@ type Flags struct {
 	// BreakerThreshold is the consecutive-failure count that opens a
 	// per-host circuit breaker (-breaker-threshold).
 	BreakerThreshold *int
+	// Evidence is the on-disk evidence store path (-evidence, empty = keep
+	// evidence in RAM).
+	Evidence *string
 }
 
 // Register installs the shared flags on fs with their canonical names,
@@ -47,7 +51,18 @@ func Register(fs *flag.FlagSet) *Flags {
 		RetryMax: fs.Int("retry-max", def.RetryMax, "retries per network operation when -faults is on"),
 		BreakerThreshold: fs.Int("breaker-threshold", def.BreakerThreshold,
 			"consecutive per-host failures that open the circuit breaker when -faults is on"),
+		Evidence: fs.String("evidence", "", "spill bulky evidence (visit records, traffic) to an append-only store at FILE"),
 	}
+}
+
+// EvidenceStore creates the on-disk evidence store named by -evidence, or
+// returns nil when the flag is unset (evidence stays in RAM). The caller
+// owns the returned store and should defer Close.
+func (f *Flags) EvidenceStore() (*evstore.Store, error) {
+	if *f.Evidence == "" {
+		return nil, nil
+	}
+	return evstore.Create(*f.Evidence)
 }
 
 // Observer returns a fresh observer when -trace or -metrics was given, nil

@@ -23,8 +23,63 @@ type CorpusResult struct {
 	Skipped bool
 }
 
+// IndexedSpec pairs a message spec with its corpus index so streamed specs
+// keep their position without the caller materializing a slice.
+type IndexedSpec struct {
+	Index int
+	Spec  MessageSpec
+}
+
+// AnalyzeStream drains specs with a bounded worker pool, handing each
+// result to sink as soon as it completes. It is the streaming core of
+// AnalyzeCorpus: the channel bounds how many specs are in flight, so peak
+// memory is O(workers) no matter how many specs the producer sends.
+//
+// sink is called concurrently from the pool, but calls that share a worker
+// index are serialized — a sink that only touches per-worker state (a
+// per-worker census shard, say) needs no locking. Results are bitwise
+// deterministic regardless of workers for the same reasons as
+// AnalyzeCorpus: per-spec RNG streams keyed by spec.ID and private clock
+// forks per analysis.
+//
+// On cancellation the pool keeps draining the channel (so the producer
+// never blocks) and reports each unstarted spec as Skipped with a wrapped
+// context error. AnalyzeStream returns once specs is closed and drained.
+func (p *Pipeline) AnalyzeStream(ctx context.Context, specs <-chan IndexedSpec, workers int, sink func(worker int, res CorpusResult)) {
+	if workers < 1 {
+		workers = 1
+	}
+	var skipped atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for is := range specs {
+				if ctx.Err() != nil {
+					skipped.Add(1)
+					sink(w, CorpusResult{
+						Index: is.Index,
+						Err: fmt.Errorf("crawlerbox: corpus spec %d not started: %w",
+							is.Spec.ID, ctx.Err()),
+						Skipped: true,
+					})
+					continue
+				}
+				ma, err := p.Analyze(ctx, is.Spec)
+				sink(w, CorpusResult{Index: is.Index, Analysis: ma, Err: err})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if p.Obs != nil && skipped.Load() > 0 {
+		p.Obs.Metrics.Add("crawlerbox_corpus_skipped_total", float64(skipped.Load()))
+	}
+}
+
 // AnalyzeCorpus analyzes a batch of messages with a bounded worker pool and
-// returns the results in input order.
+// returns the results in input order. It is the slice-backed convenience
+// wrapper over AnalyzeStream.
 //
 // Results are bitwise deterministic regardless of workers: each message's
 // RNG stream is keyed by its spec.ID (not a shared counter), each analysis
@@ -34,43 +89,18 @@ type CorpusResult struct {
 // is treated as 1.
 func (p *Pipeline) AnalyzeCorpus(ctx context.Context, specs []MessageSpec, workers int) []CorpusResult {
 	results := make([]CorpusResult, len(specs))
-	if workers < 1 {
-		workers = 1
-	}
 	if workers > len(specs) {
 		workers = len(specs)
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(specs) || ctx.Err() != nil {
-					return
-				}
-				ma, err := p.Analyze(ctx, specs[i])
-				results[i] = CorpusResult{Index: i, Analysis: ma, Err: err}
-			}
-		}()
-	}
-	wg.Wait()
-	skipped := 0
-	for i := range results {
-		results[i].Index = i
-		if results[i].Analysis == nil && results[i].Err == nil {
-			// Skipped by cancellation before a worker claimed it. Wrap the
-			// context error so errors.Is still matches while the message
-			// names the unstarted spec.
-			results[i].Err = fmt.Errorf("crawlerbox: corpus spec %d not started: %w", specs[i].ID, ctx.Err())
-			results[i].Skipped = true
-			skipped++
+	ch := make(chan IndexedSpec, max(workers, 1))
+	go func() {
+		defer close(ch)
+		for i := range specs {
+			ch <- IndexedSpec{Index: i, Spec: specs[i]}
 		}
-	}
-	if p.Obs != nil && skipped > 0 {
-		p.Obs.Metrics.Add("crawlerbox_corpus_skipped_total", float64(skipped))
-	}
+	}()
+	p.AnalyzeStream(ctx, ch, workers, func(_ int, res CorpusResult) {
+		results[res.Index] = res
+	})
 	return results
 }

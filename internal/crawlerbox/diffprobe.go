@@ -60,7 +60,8 @@ func (p *Pipeline) runDifferentialProbe(ctx context.Context, ex *Execution, url 
 	botProfile.TimezoneOffset = 0
 	botProfile.Language = "en"
 	botProfile.Languages = []string{"en"}
-	bot := browser.New(p.Net, botProfile, p.Net.AllocateIP(webnet.IPDatacenter), nextSeed())
+	botSeed := nextSeed()
+	bot := browser.New(p.Net, botProfile, p.Net.SeededIP(webnet.IPDatacenter, botSeed), botSeed)
 	if ex != nil {
 		ex.attach(human)
 		ex.attach(bot)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"crawlerbox/internal/browser"
+	"crawlerbox/internal/evstore"
 	"crawlerbox/internal/htmlx"
 	"crawlerbox/internal/imaging"
 	"crawlerbox/internal/obs"
@@ -77,7 +78,10 @@ func New(net *webnet.Internet, registry *whois.Registry) *Pipeline {
 		Matcher: imaging.DefaultMatcher(),
 	}
 	p.NewBrowser = func(seed int64) *browser.Browser {
-		return browser.New(net, browser.NotABot(), net.AllocateIP(webnet.IPMobile), seed)
+		// The egress IP is derived from the seed, not drawn from the shared
+		// allocation counter: a counter hands out addresses in scheduling
+		// order, which perturbs IP-echoing responses across worker counts.
+		return browser.New(net, browser.NotABot(), net.SeededIP(webnet.IPMobile, seed), seed)
 	}
 	return p
 }
@@ -262,6 +266,10 @@ type MessageAnalysis struct {
 	Cloaks      CloakCensus
 	HotLoadsRef bool // page hot-loads assets from the impersonated brand
 	AnalyzedAt  time.Time
+	// Evidence addresses this analysis's spilled visit records in an
+	// evidence store when SpillEvidence ran (Visits is nil afterwards).
+	// The zero handle means the evidence is still in RAM on Visits.
+	Evidence evstore.Handle
 	// Probes holds differential-cloaking observations when DiffProbeStage
 	// is in the chain.
 	Probes []*DifferentialProbe

@@ -5,7 +5,6 @@ import (
 	"bytes"
 	"encoding/base64"
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
 	"time"
@@ -38,8 +37,14 @@ var _lureTemplates = []string{
 	"IT notice: mandatory security update for your profile: %s",
 }
 
-// generateMessages builds every corpus message with ground truth attached.
-func (c *Corpus) generateMessages(rng *rand.Rand, counts dispositionCounts) {
+// planMessages builds every corpus message *plan* with ground truth
+// attached: all quota, carrier, and noise decisions are made here (mutating
+// the shared quota state and performing world side effects like victim
+// registration), but no MIME bytes are rendered. render turns a plan into
+// its exact message bytes on demand, so the split keeps generation
+// byte-identical while letting the streaming path defer the heavy payloads
+// (QR rasters, PDFs, ZIP archives) to one message at a time.
+func (c *Corpus) planMessages(counts dispositionCounts) {
 	scale := c.cfg.Scale
 	quotas := carrierQuotas{
 		faultyQR:   scaleQuota(CountFaultyQR, scale),
@@ -59,7 +64,7 @@ func (c *Corpus) generateMessages(rng *rand.Rand, counts dispositionCounts) {
 			if delivered.Before(_startTime) {
 				delivered = _startTime.Add(time.Hour)
 			}
-			m := c.buildActiveMessage(rng, di, k, delivered, &quotas, msgIdx)
+			m := c.planActiveMessage(di, k, delivered, &quotas, msgIdx)
 			c.Messages = append(c.Messages, m)
 			msgIdx++
 		}
@@ -81,11 +86,10 @@ func (c *Corpus) generateMessages(rng *rand.Rand, counts dispositionCounts) {
 			url = fmt.Sprintf("https://mobile-only-%03d.example/m", i-nx-unreach)
 		}
 		delivered := c.deliveredFor(i, counts.errorPages)
-		text := fmt.Sprintf(_lureTemplates[i%len(_lureTemplates)], url)
-		raw := c.buildEmail(delivered, "Security alert", text, nil)
 		c.Messages = append(c.Messages, Message{
-			Raw: raw, Delivered: delivered, Month: monthOf(delivered),
+			Delivered: delivered, Month: monthOf(delivered),
 			Category: CatError, Carrier: CarrierTextLink, DomainIdx: -1, URL: url,
+			genIdx: i,
 		})
 	}
 
@@ -97,46 +101,34 @@ func (c *Corpus) generateMessages(rng *rand.Rand, counts dispositionCounts) {
 		}
 		url := fmt.Sprintf("https://%s/d/%05d", host, i)
 		delivered := c.deliveredFor(i, counts.interaction)
-		raw := c.buildEmail(delivered, "Document shared with you",
-			fmt.Sprintf("A document was shared with you: %s", url), nil)
 		c.Messages = append(c.Messages, Message{
-			Raw: raw, Delivered: delivered, Month: monthOf(delivered),
+			Delivered: delivered, Month: monthOf(delivered),
 			Category: CatInteraction, Carrier: CarrierTextLink, DomainIdx: -1, URL: url,
+			genIdx: i,
 		})
 	}
 
 	// ZIP-with-HTA download messages.
 	for i := 0; i < counts.download; i++ {
 		delivered := c.deliveredFor(i, counts.download)
-		hta := fmt.Sprintf(`<script language="JScript">var u = "https://dropper-%d.evil/stage2.js";</script>`, i)
-		zipBytes := buildZipArchive(map[string]string{"document.hta": hta})
-		raw := mime.NewBuilder(c.senderFor(i), "employee@corp.example",
-			"Shipment documents", delivered).
-			Text("Please review the attached shipment documents.").
-			Attach("application/zip", "documents.zip", zipBytes).
-			Build()
 		c.Messages = append(c.Messages, Message{
-			Raw: raw, Delivered: delivered, Month: monthOf(delivered),
+			Delivered: delivered, Month: monthOf(delivered),
 			Category: CatDownload, Carrier: CarrierNone, DomainIdx: -1,
+			genIdx: i,
 		})
 	}
 
 	// Plain fraud (no web resource) messages.
 	for i := 0; i < counts.noURL; i++ {
 		delivered := c.deliveredFor(i, counts.noURL)
-		text := _fraudTemplates[i%len(_fraudTemplates)]
-		if strings.Contains(text, "%s") {
-			text = fmt.Sprintf(text, "a partner company")
-		}
 		noise := quotas.noise > 0 && i%8 == 0
 		if noise {
 			quotas.noise--
-			text += cloak.NoisePadding(i, 40, 60)
 		}
-		raw := c.buildEmail(delivered, "Outstanding balance", text, nil)
 		c.Messages = append(c.Messages, Message{
-			Raw: raw, Delivered: delivered, Month: monthOf(delivered),
+			Delivered: delivered, Month: monthOf(delivered),
 			Category: CatNoResource, Carrier: CarrierNone, DomainIdx: -1, Noise: noise,
+			genIdx: i,
 		})
 	}
 
@@ -149,8 +141,10 @@ type carrierQuotas struct {
 	faultyQR, qr, pdf, htmlLocal, htmlWindow, noise int
 }
 
-// buildActiveMessage renders one active-phishing message for domain di.
-func (c *Corpus) buildActiveMessage(rng *rand.Rand, di, k int, delivered time.Time,
+// planActiveMessage decides one active-phishing message for domain di:
+// URL token, victim registration, noise draw, and the carrier quota
+// consumption all happen here, leaving Raw for render.
+func (c *Corpus) planActiveMessage(di, k int, delivered time.Time,
 	q *carrierQuotas, msgIdx int) Message {
 	d := &c.Domains[di]
 	url := d.Site.LandingURL
@@ -159,75 +153,131 @@ func (c *Corpus) buildActiveMessage(rng *rand.Rand, di, k int, delivered time.Ti
 		base := strings.SplitN(d.Site.LandingURL, "?", 2)[0]
 		url = fmt.Sprintf("%s?t=u%03dx%04d", base, di, k)
 	}
-	victim := fmt.Sprintf("user%d@corp.example", msgIdx%500)
+	victim := victimFor(msgIdx)
 	if d.Cloaks.VictimA || d.Cloaks.VictimB {
 		d.Site.AddVictim(victim)
 		url += "#" + base64.StdEncoding.EncodeToString([]byte(victim))
-	}
-	suffix := ""
-	if d.Cloaks.OTP {
-		suffix += "\nYour access code " + d.OTPCode + " expires in 15 minutes."
 	}
 	noise := false
 	if q.noise > 0 && msgIdx%5 == 0 {
 		q.noise--
 		noise = true
-		suffix += cloak.NoisePadding(msgIdx, 40, 80)
 	}
-	text := fmt.Sprintf(_lureTemplates[msgIdx%len(_lureTemplates)], url) + suffix
 
 	m := Message{
 		Delivered: delivered, Month: monthOf(delivered),
 		Category: CatActivePhish, DomainIdx: di,
 		Spear: d.Spear, Brand: d.Brand, URL: url, Noise: noise,
+		genIdx: msgIdx,
 	}
-	builder := mime.NewBuilder(c.senderFor(msgIdx), victim,
-		subjectFor(d, msgIdx), delivered)
-
 	switch {
 	case q.faultyQR > 0 && !d.Cloaks.VictimA && !d.Cloaks.VictimB && msgIdx%4 == 1:
 		q.faultyQR--
 		m.Carrier = CarrierFaultyQR
-		img := mustQR("xxx " + url)
-		builder.Text("Scan the attached code to view your secure message."+suffix).
-			Inline("image/x-cbi", "qr.cbi", imaging.EncodeCBI(img))
 	case q.qr > 0 && !d.Cloaks.VictimA && !d.Cloaks.VictimB && msgIdx%4 == 2:
 		q.qr--
 		m.Carrier = CarrierQR
-		img := mustQR(url)
-		builder.Text("Scan the attached code with your phone to re-enroll in MFA."+suffix).
-			Inline("image/x-cbi", "qr.cbi", imaging.EncodeCBI(img))
 	case q.pdf > 0 && msgIdx%4 == 3:
 		q.pdf--
 		m.Carrier = CarrierPDF
+	case (q.htmlLocal > 0 || q.htmlWindow > 0) && !d.Spear && msgIdx%3 == 0:
+		m.windowRedirect = q.htmlLocal == 0
+		if m.windowRedirect {
+			q.htmlWindow--
+		} else {
+			q.htmlLocal--
+		}
+		m.Carrier = CarrierHTMLAttachment
+	case msgIdx%2 == 0:
+		m.Carrier = CarrierHTMLLink
+	default:
+		m.Carrier = CarrierTextLink
+	}
+	return m
+}
+
+// render rebuilds a message's MIME bytes from its plan. It is a pure
+// function of the plan fields and the immutable domain records — no quota
+// state, no world mutation — so Generate (materialize everything) and the
+// streaming Each path (render one at a time) produce identical bytes.
+func (c *Corpus) render(m *Message) []byte {
+	switch m.Category {
+	case CatActivePhish:
+		return c.renderActive(m)
+	case CatError:
+		text := fmt.Sprintf(_lureTemplates[m.genIdx%len(_lureTemplates)], m.URL)
+		return c.buildEmail(m.Delivered, "Security alert", text, nil)
+	case CatInteraction:
+		return c.buildEmail(m.Delivered, "Document shared with you",
+			fmt.Sprintf("A document was shared with you: %s", m.URL), nil)
+	case CatDownload:
+		hta := fmt.Sprintf(`<script language="JScript">var u = "https://dropper-%d.evil/stage2.js";</script>`, m.genIdx)
+		zipBytes := buildZipArchive(map[string]string{"document.hta": hta})
+		return mime.NewBuilder(c.senderFor(m.genIdx), "employee@corp.example",
+			"Shipment documents", m.Delivered).
+			Text("Please review the attached shipment documents.").
+			Attach("application/zip", "documents.zip", zipBytes).
+			Build()
+	default: // CatNoResource
+		text := _fraudTemplates[m.genIdx%len(_fraudTemplates)]
+		if strings.Contains(text, "%s") {
+			text = fmt.Sprintf(text, "a partner company")
+		}
+		if m.Noise {
+			text += cloak.NoisePadding(m.genIdx, 40, 60)
+		}
+		return c.buildEmail(m.Delivered, "Outstanding balance", text, nil)
+	}
+}
+
+// renderActive rebuilds one active-phishing message from its plan.
+func (c *Corpus) renderActive(m *Message) []byte {
+	d := &c.Domains[m.DomainIdx]
+	url := m.URL
+	suffix := ""
+	if d.Cloaks.OTP {
+		suffix += "\nYour access code " + d.OTPCode + " expires in 15 minutes."
+	}
+	if m.Noise {
+		suffix += cloak.NoisePadding(m.genIdx, 40, 80)
+	}
+	text := fmt.Sprintf(_lureTemplates[m.genIdx%len(_lureTemplates)], url) + suffix
+
+	builder := mime.NewBuilder(c.senderFor(m.genIdx), victimFor(m.genIdx),
+		subjectFor(d, m.genIdx), m.Delivered)
+	switch m.Carrier {
+	case CarrierFaultyQR:
+		img := mustQR("xxx " + url)
+		builder.Text("Scan the attached code to view your secure message."+suffix).
+			Inline("image/x-cbi", "qr.cbi", imaging.EncodeCBI(img))
+	case CarrierQR:
+		img := mustQR(url)
+		builder.Text("Scan the attached code with your phone to re-enroll in MFA."+suffix).
+			Inline("image/x-cbi", "qr.cbi", imaging.EncodeCBI(img))
+	case CarrierPDF:
 		pdf := pdfx.Build(&pdfx.Document{Pages: []pdfx.Page{{
 			TextLines: []string{"Please review the attached notice.", "Open the secure portal below."},
 			LinkURIs:  []string{url},
 		}}}, true)
 		builder.Text("See the attached document."+suffix).
 			Attach("application/pdf", "notice.pdf", pdf)
-	case (q.htmlLocal > 0 || q.htmlWindow > 0) && !d.Spear && msgIdx%3 == 0:
-		windowRedirect := q.htmlLocal == 0
-		if windowRedirect {
-			q.htmlWindow--
-		} else {
-			q.htmlLocal--
-		}
-		m.Carrier = CarrierHTMLAttachment
-		att := makeHTMLAttachment(url, windowRedirect)
+	case CarrierHTMLAttachment:
+		att := makeHTMLAttachment(url, m.windowRedirect)
 		builder.Text("Open the attached contract to review."+suffix).
 			Attach("text/html", "contract.html", []byte(att))
-	case msgIdx%2 == 0:
-		m.Carrier = CarrierHTMLLink
+	case CarrierHTMLLink:
 		builder.HTML(fmt.Sprintf(
 			`<html><body><p>%s</p><a href="%s">Open portal</a></body></html>`,
 			strings.SplitN(text, "\n", 2)[0], url)).Text(text)
 	default:
-		m.Carrier = CarrierTextLink
 		builder.Text(text)
 	}
-	m.Raw = builder.Build()
-	return m
+	return builder.Build()
+}
+
+// victimFor returns the recipient mailbox of the idx-th active message.
+func victimFor(idx int) string {
+	return fmt.Sprintf("user%d@corp.example", idx%500)
 }
 
 func makeHTMLAttachment(url string, windowRedirect bool) string {

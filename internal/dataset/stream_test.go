@@ -1,0 +1,69 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestStreamMatchesGenerate pins the plan/render split: a streamed corpus
+// must yield exactly the bytes (and ground truth) of a materialized one for
+// the same seed, in the same order.
+func TestStreamMatchesGenerate(t *testing.T) {
+	cfg := Config{Seed: 42, Scale: 0.1}
+	full, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := Stream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !streamed.Streamed() || full.Streamed() {
+		t.Fatal("Streamed flag wrong way around")
+	}
+	if streamed.Len() != full.Len() {
+		t.Fatalf("lengths differ: streamed %d, generated %d", streamed.Len(), full.Len())
+	}
+
+	seen := 0
+	streamed.Each(func(i int, m *Message) bool {
+		want := &full.Messages[i]
+		if !bytes.Equal(m.Raw, want.Raw) {
+			t.Fatalf("message %d: streamed bytes differ from generated", i)
+		}
+		if m.Delivered != want.Delivered || m.Category != want.Category ||
+			m.Carrier != want.Carrier || m.DomainIdx != want.DomainIdx ||
+			m.Spear != want.Spear || m.Brand != want.Brand ||
+			m.URL != want.URL || m.Noise != want.Noise {
+			t.Fatalf("message %d: ground truth differs: %+v vs %+v", i, m, want)
+		}
+		seen++
+		return true
+	})
+	if seen != full.Len() {
+		t.Fatalf("Each visited %d of %d messages", seen, full.Len())
+	}
+
+	// The streamed corpus must not have retained any rendered payloads.
+	for i := range streamed.Messages {
+		if streamed.Messages[i].Raw != nil {
+			t.Fatalf("message %d: Raw retained after Each on streamed corpus", i)
+		}
+	}
+}
+
+// TestEachEarlyStop checks the iterator honors a false return.
+func TestEachEarlyStop(t *testing.T) {
+	c, err := Stream(Config{Seed: 7, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	visits := 0
+	c.Each(func(i int, m *Message) bool {
+		visits++
+		return visits < 3
+	})
+	if visits != 3 {
+		t.Fatalf("Each visited %d messages, want 3", visits)
+	}
+}

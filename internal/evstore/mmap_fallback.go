@@ -1,0 +1,11 @@
+//go:build !unix
+
+package evstore
+
+import "os"
+
+// mmap is unavailable on this platform; readers fall back to ReadAt.
+func mmap(*os.File, int64) []byte { return nil }
+
+// munmap matches the unix signature; nothing to release.
+func munmap([]byte) {}

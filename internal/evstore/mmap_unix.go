@@ -1,0 +1,26 @@
+//go:build unix
+
+package evstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmap maps size bytes of f read-only. Returns nil (fall back to ReadAt)
+// when the file is empty or the mapping fails.
+func mmap(f *os.File, size int64) []byte {
+	if size <= 0 || size > int64(^uint(0)>>1) {
+		return nil
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+// munmap releases a mapping produced by mmap.
+func munmap(m []byte) {
+	_ = syscall.Munmap(m)
+}

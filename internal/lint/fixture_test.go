@@ -112,6 +112,10 @@ func TestResilienceFixture(t *testing.T) {
 	checkFixture(t, Resilience{}, "resiliencefix", 1)
 }
 
+func TestStreamSafeFixture(t *testing.T) {
+	checkFixture(t, StreamSafe{}, "streamfix", 1)
+}
+
 // TestSuppressionDirective pins the directive semantics: a named directive
 // and the "all" wildcard silence the finding on the next line, and a
 // directive without a reason both fails to suppress and is itself reported.
@@ -144,7 +148,7 @@ func TestRegistryOrder(t *testing.T) {
 	for _, a := range Registry() {
 		names = append(names, a.Name())
 	}
-	want := []string{"determinism", "maprange", "ctxflow", "guarded", "resilience"}
+	want := []string{"determinism", "maprange", "ctxflow", "guarded", "resilience", "streamsafe"}
 	if fmt.Sprint(names) != fmt.Sprint(want) {
 		t.Errorf("Registry() order = %v, want %v", names, want)
 	}

@@ -1,7 +1,7 @@
 // Package lint is cblint: a from-scratch static-analysis pass, built on
 // nothing but the standard library's go/parser, go/build, and go/types, that
 // machine-checks the invariants the pipeline's reproducibility guarantee
-// rests on (DESIGN.md §9). Five analyzers ship today:
+// rests on (DESIGN.md §9). Six analyzers ship today:
 //
 //   - determinism: wall-clock reads and global math/rand calls are banned in
 //     internal production code — time flows through webnet.Clock and
@@ -17,6 +17,11 @@
 //     deadlines (context.WithTimeout/WithDeadline) are banned in internal
 //     code — backoff and budgets are charged to the virtual clock through
 //     resilience.Session.
+//   - streamsafe: ranging over (or allocating proportionally to) the whole
+//     in-RAM corpus ledger — dataset.Corpus.Messages, report.Run.Analyses —
+//     is banned outside the sanctioned streaming sites; corpus processing
+//     goes through Corpus.Each and per-worker census shards so peak memory
+//     stays O(workers).
 //
 // Findings are suppressed, one line at a time, with an explicit
 //
@@ -71,6 +76,7 @@ func Registry() []Analyzer {
 		CtxFlow{},
 		Guarded{},
 		Resilience{},
+		StreamSafe{},
 	}
 }
 

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// promDump renders a registry for byte comparison.
+func promDump(t *testing.T, r *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestRegistryMergeMatchesDirect pins the Merge contract: folding
+// per-worker registries together must export the same bytes as writing
+// every operation into one shared registry.
+func TestRegistryMergeMatchesDirect(t *testing.T) {
+	ops := func(r *Registry, worker int) {
+		r.Inc("requests_total", "status", "2xx")
+		r.Add("requests_total", 2, "status", "4xx")
+		r.Add("bytes_total", float64(100*(worker+1)))
+		r.Observe("latency_ns", 2e6)
+		r.Observe("latency_ns", 4e9)
+		r.Set("build_info", 1, "version", "7")
+	}
+
+	direct := NewRegistry()
+	shards := make([]*Registry, 3)
+	for w := range shards {
+		shards[w] = NewRegistry()
+		ops(direct, w)
+		ops(shards[w], w)
+	}
+
+	merged := NewRegistry()
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if got, want := promDump(t, merged), promDump(t, direct); got != want {
+		t.Errorf("merged registries diverge from direct writes:\n--- merged ---\n%s--- direct ---\n%s", got, want)
+	}
+
+	// Commutativity: merging the shards in reverse order exports the same
+	// bytes (the gauge is set identically by every shard, per Set's rule).
+	reversed := NewRegistry()
+	for i := len(shards) - 1; i >= 0; i-- {
+		reversed.Merge(shards[i])
+	}
+	if got, want := promDump(t, reversed), promDump(t, merged); got != want {
+		t.Error("merge order changed the exported snapshot")
+	}
+
+	// Associativity: pre-merging a pair then folding the rest matches too.
+	paired := NewRegistry()
+	pair := NewRegistry()
+	pair.Merge(shards[0])
+	pair.Merge(shards[1])
+	paired.Merge(pair)
+	paired.Merge(shards[2])
+	if got, want := promDump(t, paired), promDump(t, merged); got != want {
+		t.Error("pre-merged pair changed the exported snapshot")
+	}
+}
+
+func TestRegistryMergeConflictsAndNil(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("m")
+	other := NewRegistry()
+	other.Set("m", 5) // type conflict: counter vs gauge
+	other.DefineBuckets("h", []float64{1, 2})
+	other.Observe("h", 1.5)
+	r.Observe("h", 1.5) // default buckets: layout conflict with other's
+	before := promDump(t, r)
+	r.Merge(other)
+	after := promDump(t, r)
+	if before != after {
+		t.Errorf("conflicting series mutated the registry:\n--- before ---\n%s--- after ---\n%s", before, after)
+	}
+
+	r.Merge(nil)
+	var nilReg *Registry
+	nilReg.Merge(r) // must not panic
+	if promDump(t, r) != after {
+		t.Error("nil merges mutated the registry")
+	}
+}

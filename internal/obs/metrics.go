@@ -172,6 +172,59 @@ func seriesKey(name string, attrs []Attr) string {
 	return key
 }
 
+// Merge folds another registry's series into r: counter values add,
+// histograms add their sums and per-bucket counts (r adopts the source's
+// bounds when it has never observed the metric), and gauges overwrite —
+// the same last-write-wins contract Set has. Counter and histogram merges
+// are commutative and associative, so per-worker registries merged in any
+// order export identical snapshots; gauge order only matters when
+// schedules set different values, which the Set contract already forbids.
+// A series whose type or bucket layout conflicts with an existing one is
+// skipped, matching how the write methods reject type mismatches. Merging
+// a nil source, or into a nil registry, is a no-op.
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	points := o.Snapshot()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range points {
+		key := seriesKey(p.Name, p.Labels)
+		//cblint:ignore guarded Merge holds r.mu across the whole fold
+		s := r.series[key]
+		if s == nil {
+			s = &series{name: p.Name, labels: p.Labels, typ: p.Type}
+			//cblint:ignore guarded Merge holds r.mu across the whole fold
+			r.series[key] = s
+		}
+		if s.typ != p.Type {
+			continue
+		}
+		switch p.Type {
+		case typeCounter:
+			s.value += p.Value
+		case typeGauge:
+			s.value = p.Value
+		case typeHistogram:
+			if len(p.Counts) == 0 {
+				continue
+			}
+			if s.counts == nil {
+				s.bounds = p.Bounds
+				s.counts = make([]uint64, len(p.Counts))
+			}
+			if len(s.counts) != len(p.Counts) {
+				continue
+			}
+			for i, c := range p.Counts {
+				s.counts[i] += c
+			}
+			s.sum += p.Sum
+		}
+	}
+}
+
 // Point is one series in a snapshot.
 type Point struct {
 	// Name is the metric name.

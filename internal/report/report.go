@@ -6,11 +6,13 @@
 // domain-syntax census, the spear-phishing and hot-loading shares, and the
 // cloaking-prevalence table.
 //
-// Every aggregate is served from a memoized census index built in a single
-// pass over the analyses (see census); repeated aggregate calls — the
-// paper's workload, where each table and figure re-queries the same
-// analyzed corpus — cost a copy of the precomputed rows instead of a full
-// corpus re-scan.
+// Every aggregate is served from a memoized census index derived from a
+// CensusShard — a commutative partial fold of the analyses. Analyze streams
+// message specs through the worker pool and each worker folds its own
+// shard, so census state is O(domains), not O(corpus); repeated aggregate
+// calls — the paper's workload, where each table and figure re-queries the
+// same analyzed corpus — cost a copy of the precomputed rows instead of a
+// full corpus re-scan.
 package report
 
 import (
@@ -24,21 +26,29 @@ import (
 	"crawlerbox/internal/browser"
 	"crawlerbox/internal/crawlerbox"
 	"crawlerbox/internal/dataset"
+	"crawlerbox/internal/evstore"
 	"crawlerbox/internal/htmlx"
 	"crawlerbox/internal/obs"
 	"crawlerbox/internal/resilience"
 	"crawlerbox/internal/stats"
 	"crawlerbox/internal/urlx"
 	"crawlerbox/internal/webnet"
-	"crawlerbox/internal/whois"
 )
 
 // Run couples a corpus with its per-message pipeline analyses.
 type Run struct {
-	Corpus   *dataset.Corpus
+	Corpus *dataset.Corpus
+	// Analyses holds the per-message analyses in corpus order (nil entries
+	// for failed messages). A streamed run (dataset.Stream) leaves it nil —
+	// the census is served from the merged shard instead, so analyses never
+	// accumulate in memory.
 	Analyses []*crawlerbox.MessageAnalysis
 	// Errors counts messages whose analysis failed outright.
 	Errors int
+
+	// shard is the merged census partial folded during Analyze. When nil
+	// (manually assembled Runs), buildCensus folds Analyses on demand.
+	shard *CensusShard
 
 	// censusOnce guards the lazily built census index. The index is
 	// immutable once built, so any number of goroutines may call the
@@ -52,6 +62,7 @@ type options struct {
 	workers    int
 	observer   *obs.Observer
 	resilience *resilience.Policy
+	evidence   *evstore.Store
 }
 
 // Option configures one aspect of an Analyze run.
@@ -83,12 +94,32 @@ func WithResilience(p *resilience.Policy) Option {
 	return func(o *options) { o.resilience = p }
 }
 
+// WithEvidenceStore spills bulky evidence to an on-disk store: each
+// analysis's visit records (markup, screenshots, request logs) are encoded
+// into one checksummed record — addressed afterwards by the analysis's
+// Evidence handle — and the corpus network's exchange ledger appends to the
+// same store instead of RAM. The spill happens after the worker's shard has
+// folded the analysis, so every aggregate is identical with or without a
+// store; only the residency of the evidence changes. A nil store disables
+// spilling (the default).
+func WithEvidenceStore(s *evstore.Store) Option {
+	return func(o *options) { o.evidence = s }
+}
+
 // Analyze runs the pipeline over the corpus and aggregates the Run. Each
 // message is analyzed at its delivery time plus the paper's two-hour
 // reporting lag, on a private fork of the virtual clock, with a seed stream
 // keyed by its corpus index — so the aggregated Run is bitwise identical for
 // every worker count. The context cancels the run; messages not yet analyzed
 // at cancellation are counted in Run.Errors.
+//
+// Messages stream through the bounded worker pool one at a time — the
+// producer renders specs on demand (Corpus.Each) and each worker folds its
+// results into a private CensusShard — so peak memory is O(workers), not
+// O(corpus). For a corpus built by dataset.Stream, Run.Analyses stays nil
+// and every aggregate is served from the merged shard; a corpus built by
+// dataset.Generate additionally retains the analyses for callers that
+// inspect them directly.
 //
 // Analyze is the single entry point; concurrency, observability, and fault
 // injection are all opt-in through WithWorkers, WithObserver, and
@@ -98,12 +129,19 @@ func Analyze(ctx context.Context, c *dataset.Corpus, opts ...Option) (*Run, erro
 	for _, o := range opts {
 		o(&op)
 	}
+	workers := op.workers
+	if workers < 1 {
+		workers = 1
+	}
 	pipe := crawlerbox.New(c.Net, c.Registry)
 	if op.observer != nil {
 		pipe.Obs = op.observer
 		c.Net.Metrics = op.observer.Metrics
 	}
 	pipe.Resilience = op.resilience
+	if op.evidence != nil {
+		c.Net.SpillTrafficTo(op.evidence)
+	}
 	brands := make([]string, 0, len(c.BrandURLs))
 	for b := range c.BrandURLs {
 		brands = append(brands, b)
@@ -114,39 +152,87 @@ func Analyze(ctx context.Context, c *dataset.Corpus, opts ...Option) (*Run, erro
 			return nil, fmt.Errorf("report: reference %s: %w", b, err)
 		}
 	}
-	specs := make([]crawlerbox.MessageSpec, len(c.Messages))
-	for i := range c.Messages {
-		m := &c.Messages[i]
-		specs[i] = crawlerbox.MessageSpec{
-			Raw: m.Raw,
-			ID:  int64(i + 1),
-			At:  m.Delivered.Add(2 * time.Hour),
-		}
-	}
+
 	run := &Run{Corpus: c}
-	for _, res := range pipe.AnalyzeCorpus(ctx, specs, op.workers) {
+	retain := !c.Streamed()
+	var analyses []*crawlerbox.MessageAnalysis
+	if retain {
+		analyses = make([]*crawlerbox.MessageAnalysis, c.Len())
+	}
+
+	// The producer streams specs into the bounded channel, folding the
+	// monthly series as plans flow past; each worker folds its own shard.
+	msgShard := NewCensusShard()
+	shards := make([]*CensusShard, workers)
+	errCounts := make([]int, workers)
+	for i := range shards {
+		shards[i] = NewCensusShard()
+	}
+	produced := 0
+	specs := make(chan crawlerbox.IndexedSpec, workers)
+	go func() {
+		defer close(specs)
+		c.Each(func(i int, m *dataset.Message) bool {
+			msgShard.AddMessage(m)
+			select {
+			case specs <- crawlerbox.IndexedSpec{Index: i, Spec: crawlerbox.MessageSpec{
+				Raw: m.Raw,
+				ID:  int64(i + 1),
+				At:  m.Delivered.Add(2 * time.Hour),
+			}}:
+				produced++
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		})
+	}()
+	pipe.AnalyzeStream(ctx, specs, workers, func(w int, res crawlerbox.CorpusResult) {
 		if res.Err != nil {
-			run.Errors++
-			run.Analyses = append(run.Analyses, nil)
-			continue
+			errCounts[w]++
+			return
 		}
-		run.Analyses = append(run.Analyses, res.Analysis)
+		shards[w].AddAnalysis(res.Index, res.Analysis)
+		if op.evidence != nil {
+			// Spill AFTER the shard fold: hot-load detection and landing
+			// titles read the visit records the spill strips.
+			if err := crawlerbox.SpillEvidence(op.evidence, res.Analysis); err != nil {
+				errCounts[w]++
+			}
+		}
+		if retain {
+			analyses[res.Index] = res.Analysis
+		}
+	})
+	// AnalyzeStream has returned, so the producer has exited and the
+	// per-worker state is quiescent.
+	for _, n := range errCounts {
+		run.Errors += n
+	}
+	// Messages the cancelled producer never sent still count as errors.
+	run.Errors += c.Len() - produced
+
+	// Merge order is pinned by each shard's smallest message index; Merge
+	// is commutative, so this is a determinism belt-and-suspenders, not a
+	// correctness requirement.
+	sort.SliceStable(shards, func(i, j int) bool {
+		a, b := shards[i].minIdx, shards[j].minIdx
+		if a < 0 {
+			return false
+		}
+		if b < 0 {
+			return true
+		}
+		return a < b
+	})
+	for _, s := range shards {
+		msgShard.Merge(s)
+	}
+	run.shard = msgShard
+	if retain {
+		run.Analyses = analyses
 	}
 	return run, nil
-}
-
-// AnalyzeParallel runs the pipeline with a bounded worker pool.
-//
-// Deprecated: use Analyze with WithWorkers.
-func AnalyzeParallel(ctx context.Context, c *dataset.Corpus, workers int) (*Run, error) {
-	return Analyze(ctx, c, WithWorkers(workers))
-}
-
-// AnalyzeParallelObserved is AnalyzeParallel with observability wired in.
-//
-// Deprecated: use Analyze with WithWorkers and WithObserver.
-func AnalyzeParallelObserved(ctx context.Context, c *dataset.Corpus, workers int, o *obs.Observer) (*Run, error) {
-	return Analyze(ctx, c, WithWorkers(workers), WithObserver(o))
 }
 
 // census is the memoized index behind every Run aggregate. It is computed
@@ -175,114 +261,27 @@ func (r *Run) index() *census {
 	return r.census
 }
 
-// buildCensus scans the analyses once, grouping and counting everything the
-// aggregate methods need, then derives each aggregate from those groups.
-// The derivations mirror the original per-call implementations exactly
-// (asserted byte-for-byte by the equivalence tests in report_equiv_test.go).
+// buildCensus derives the census from the run's merged shard. A streamed
+// Analyze supplies the shard directly; a manually assembled Run (Corpus +
+// Analyses, no shard) folds its retained analyses into a fresh shard first.
+// Either way the derivations replicate the legacy single-pass census
+// byte-for-byte (asserted by the equivalence tests in report_equiv_test.go).
 func (r *Run) buildCensus() *census {
-	c := &census{}
-
-	// --- single pass over the analyses -------------------------------
-	outcomeCounts := map[string]int{}
-	total := 0
-	// Landing hosts in first-seen order, duplicates included (deduped
-	// below); preallocated to the analysis count so the gather never grows.
-	hosts := make([]string, 0, len(r.Analyses))
-	groups := map[string][]*crawlerbox.MessageAnalysis{}
-	landingURLs := map[string]bool{}
-	var active, spearN, hotLoad int
-	cloakCounts := map[string]int{}
-	synSeen := map[string]bool{}
-	synHosts := make([]string, 0, len(r.Analyses))
-	brandSeen := map[string]bool{}
-	brandCounts := map[string]int{}
-	var cred, turnstile, recaptcha int
-
-	for _, ma := range r.Analyses {
-		if ma == nil {
-			continue
-		}
-		// Disposition: merge cloaked-benign into the error/inaccessible
-		// row the way the paper's accounting does.
-		total++
-		label := ma.Outcome.String()
-		if ma.Outcome == crawlerbox.OutcomeCloaked {
-			label = crawlerbox.OutcomeError.String()
-		}
-		outcomeCounts[label]++
-
-		// Evasion census (all messages, not just active phish).
-		countCloaks(cloakCounts, ma)
-
-		if ma.Landing != nil {
-			hosts = append(hosts, ma.Landing.Host)
-			if !synSeen[ma.Landing.Host] {
-				synSeen[ma.Landing.Host] = true
-				synHosts = append(synHosts, ma.Landing.Host)
+	s := r.shard
+	if s == nil {
+		s = NewCensusShard()
+		if r.Corpus != nil {
+			//cblint:ignore streamsafe fallback fold for manually assembled slice-backed Runs
+			for i := range r.Corpus.Messages {
+				s.AddMessage(&r.Corpus.Messages[i])
 			}
 		}
-
-		if ma.Outcome != crawlerbox.OutcomeActivePhish {
-			continue
-		}
-		// Spear-phishing shares (Section V-A).
-		active++
-		if ma.SpearPhish {
-			spearN++
-			if ma.HotLoadsRef || hotLoads(ma) {
-				hotLoad++
-			}
-		}
-		cred++
-		if ma.Cloaks.Turnstile {
-			turnstile++
-		}
-		if ma.Cloaks.ReCaptcha {
-			recaptcha++
-		}
-		if ma.Landing == nil {
-			continue
-		}
-		landingURLs[ma.Landing.URL] = true
-		// Landing-domain groups (active phish only), message order
-		// preserved within each group.
-		groups[ma.Landing.Registrable] = append(groups[ma.Landing.Registrable], ma)
-		// Non-targeted brand classification: first non-spear analysis
-		// seen per registrable domain supplies the page title.
-		if !ma.SpearPhish && !brandSeen[ma.Landing.Registrable] {
-			brandSeen[ma.Landing.Registrable] = true
-			brandCounts[brandOfTitle(landingTitle(ma))]++
+		//cblint:ignore streamsafe fallback fold for manually assembled slice-backed Runs
+		for i, ma := range r.Analyses {
+			s.AddAnalysis(i, ma)
 		}
 	}
-
-	// Deterministic iteration order over the landing-domain groups.
-	groupKeys := make([]string, 0, len(groups))
-	for k := range groups {
-		groupKeys = append(groupKeys, k)
-	}
-	sort.Strings(groupKeys)
-
-	// --- derived aggregates ------------------------------------------
-	c.disposition = dispositionRows(outcomeCounts, total)
-	if r.Corpus != nil {
-		for _, m := range r.Corpus.Messages {
-			if m.Month >= 0 && m.Month < 10 {
-				c.monthly[m.Month]++
-			}
-		}
-	}
-	c.table2 = urlx.TLDDistribution(dedupe(hosts))
-	c.figure3, c.figure3Err = timelineStats(groups, groupKeys)
-	c.spear = spearStats(active, spearN, hotLoad, len(landingURLs), groups, groupKeys)
-	c.dns = dnsStats(groups, groupKeys)
-	c.syntax = syntaxStats(synHosts)
-	c.cloaks = cloakRows(cloakCounts)
-	c.brands = brandRows(brandCounts)
-	if cred > 0 {
-		c.turnstilePct = 100 * float64(turnstile) / float64(cred)
-		c.recaptchaPct = 100 * float64(recaptcha) / float64(cred)
-	}
-	return c
+	return s.finalize()
 }
 
 // DispositionRow is one row of the Section V breakdown.
@@ -348,7 +347,7 @@ type Figure2Stats struct {
 func (r *Run) Figure2() (Figure2Stats, error) {
 	series := r.MonthlySeries()
 	y24 := stats.IntsToFloats(series[:])
-	scale := float64(len(r.Corpus.Messages)) / float64(dataset.TotalMessages)
+	scale := float64(r.Corpus.Len()) / float64(dataset.TotalMessages)
 	y23 := make([]float64, 10)
 	for i, v := range dataset.Monthly2023 {
 		y23[i] = float64(v) * scale
@@ -390,31 +389,17 @@ type TimelineStats struct {
 
 // timelineStats joins each landing domain's WHOIS registration and
 // certificate issuance against the mean delivery time of its messages.
-func timelineStats(groups map[string][]*crawlerbox.MessageAnalysis, keys []string) (TimelineStats, error) {
+func timelineStats(groups map[string]*groupCell, keys []string) (TimelineStats, error) {
 	deltaA := make([]float64, 0, len(keys))
 	deltaB := make([]float64, 0, len(keys))
 	for _, key := range keys {
-		analyses := groups[key]
-		var sumUnix int64
-		var reg, cert time.Time
-		var haveReg, haveCert bool
-		for _, ma := range analyses {
-			sumUnix += ma.AnalyzedAt.Unix()
-			if ma.Landing.Whois != nil {
-				reg = ma.Landing.Whois.Registered
-				haveReg = true
-			}
-			if ma.Landing.Cert != nil {
-				cert = ma.Landing.Cert.IssuedAt
-				haveCert = true
-			}
+		g := groups[key]
+		avgDelivery := time.Unix(g.sumUnix/int64(g.count), 0)
+		if g.regIdx >= 0 {
+			deltaA = append(deltaA, avgDelivery.Sub(g.reg).Hours())
 		}
-		avgDelivery := time.Unix(sumUnix/int64(len(analyses)), 0)
-		if haveReg {
-			deltaA = append(deltaA, avgDelivery.Sub(reg).Hours())
-		}
-		if haveCert {
-			deltaB = append(deltaB, avgDelivery.Sub(cert).Hours())
+		if g.certIdx >= 0 {
+			deltaB = append(deltaB, avgDelivery.Sub(g.cert).Hours())
 		}
 	}
 	out := TimelineStats{DomainCount: len(groups)}
@@ -473,7 +458,7 @@ type SpearStats struct {
 
 // spearStats assembles the spear-phishing aggregate from census counters.
 func spearStats(active, spear, hotLoad, distinctURLs int,
-	groups map[string][]*crawlerbox.MessageAnalysis, keys []string) SpearStats {
+	groups map[string]*groupCell, keys []string) SpearStats {
 	out := SpearStats{
 		Active: active, Spear: spear, HotLoad: hotLoad,
 		DistinctDomains: len(groups),
@@ -489,9 +474,9 @@ func spearStats(active, spear, hotLoad, distinctURLs int,
 	maxC := 0
 	for _, key := range keys {
 		g := groups[key]
-		counts = append(counts, float64(len(g)))
-		if len(g) > maxC {
-			maxC = len(g)
+		counts = append(counts, float64(g.count))
+		if g.count > maxC {
+			maxC = g.count
 		}
 	}
 	out.MaxMsgsPerDomain = maxC
@@ -546,19 +531,18 @@ type DNSStats struct {
 // dnsStats computes passive-DNS medians for single- vs multi-message
 // landing domains, excluding compromised and abused-service hosts the way
 // the paper filters them.
-func dnsStats(groups map[string][]*crawlerbox.MessageAnalysis, keys []string) DNSStats {
+func dnsStats(groups map[string]*groupCell, keys []string) DNSStats {
 	var st, sm, mt, mm []float64
 	var totals []int
 	for _, key := range keys {
-		analyses := groups[key]
-		first := analyses[0]
-		if first.Landing.Whois != nil && first.Landing.Whois.Provenance != whois.ProvenanceFresh {
+		g := groups[key]
+		if g.firstSkipDNS {
 			continue
 		}
-		total := float64(first.Landing.DNS30DayTotal)
-		maxDaily := float64(first.Landing.DNSMaxDaily)
-		totals = append(totals, first.Landing.DNS30DayTotal)
-		if len(analyses) == 1 {
+		total := float64(g.firstDNSTotal)
+		maxDaily := float64(g.firstDNSMax)
+		totals = append(totals, g.firstDNSTotal)
+		if g.count == 1 {
 			st = append(st, total)
 			sm = append(sm, maxDaily)
 		} else {

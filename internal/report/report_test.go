@@ -255,7 +255,7 @@ func TestAnalyzeParallelAggregatesBitwiseIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		run, err := AnalyzeParallel(context.Background(), c, workers)
+		run, err := Analyze(context.Background(), c, WithWorkers(workers))
 		if err != nil {
 			t.Fatal(err)
 		}

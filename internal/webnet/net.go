@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"crawlerbox/internal/evstore"
 	"crawlerbox/internal/obs"
 	"crawlerbox/internal/resilience"
 )
@@ -166,18 +167,23 @@ type Internet struct {
 	// worker interleaving.
 	Metrics *obs.Registry
 
-	mu         sync.Mutex
-	dns        map[string]string         // guarded by mu
-	ipClass    map[string]IPClass        // guarded by mu
-	ipCountry  map[string]string         // guarded by mu
-	banners    map[string]string         // guarded by mu
-	servers    map[string]Handler        // guarded by mu
-	certs      map[string][]*Certificate // guarded by mu
-	ctLog      []*Certificate            // guarded by mu
-	queryLog   map[string][]QueryRecord  // guarded by mu
-	queryAgg   map[string]map[string]int // guarded by mu
-	nextIP     [4]int                    // guarded by mu
-	nextSerial int                       // guarded by mu
+	mu        sync.Mutex
+	dns       map[string]string         // guarded by mu
+	ipClass   map[string]IPClass        // guarded by mu
+	ipCountry map[string]string         // guarded by mu
+	banners   map[string]string         // guarded by mu
+	servers   map[string]Handler        // guarded by mu
+	certs     map[string][]*Certificate // guarded by mu
+	ctLog     []*Certificate            // guarded by mu
+	queryLog  map[string][]QueryRecord  // guarded by mu
+	queryAgg  map[string]map[string]int // guarded by mu
+	// queryAggLive aggregates the crawler's own resolutions per host-day
+	// when traffic spills to disk (default mode appends to queryLog
+	// instead). Kept apart from queryAgg so BackgroundQueryVolume never
+	// counts live lookups.
+	queryAggLive map[string]map[string]int // guarded by mu
+	nextIP       [4]int                    // guarded by mu
+	nextSerial   int                       // guarded by mu
 	// RequestLatency is the virtual time cost of one HTTP round trip.
 	RequestLatency time.Duration
 	// trafficLog records every request for referral analysis. It is
@@ -188,6 +194,10 @@ type Internet struct {
 	// per-host traffic queries touch only the matching entries instead of
 	// scanning (or copying) the whole ledger.
 	trafficByHost map[string][]int // guarded by mu
+	// spill, when set via SpillTrafficTo, replaces the in-RAM ledgers:
+	// exchanges append to the store and only their count stays resident.
+	spill   *evstore.Store // guarded by mu
+	spilled int            // guarded by mu
 }
 
 // LoggedExchange pairs a request with its response for traffic analysis.
@@ -227,6 +237,46 @@ func (n *Internet) AllocateIP(class IPClass) string {
 	}
 	n.ipClass[ip] = class
 	return ip
+}
+
+// SeededIP derives a deterministic egress IP from a seed. Unlike
+// AllocateIP — a shared counter whose assignment depends on allocation
+// order — the address is a pure function of (class, seed), so concurrently
+// analyzed messages get schedule-independent client IPs (the per-message
+// seed streams key them). Each class maps to a disjoint block of the
+// 100.64.0.0/10 CGNAT range, away from AllocateIP's 198.18.0.0/15 pool,
+// so a cross-class seed collision can never relabel an address — which is
+// also why the class needs no registration: ClassOf reads it back out of
+// the block, and the ipClass map stays O(deployed hosts) instead of
+// growing by one entry per analyzed message.
+func (n *Internet) SeededIP(class IPClass, seed int64) string {
+	h := uint64(seed) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	second := 64 + 32*int(class-IPResidential) + int(h%32)
+	third := int((h >> 8) % 256)
+	fourth := 1 + int((h>>16)%254)
+	return fmt.Sprintf("100.%d.%d.%d", second, third, fourth)
+}
+
+// seededClassOf inverts SeededIP's block layout: a 100.x address inside
+// the seeded CGNAT blocks carries its class in the second octet. ok is
+// false for every other address.
+func seededClassOf(ip string) (IPClass, bool) {
+	rest, found := strings.CutPrefix(ip, "100.")
+	if !found {
+		return 0, false
+	}
+	second, _, found := strings.Cut(rest, ".")
+	if !found {
+		return 0, false
+	}
+	v, err := strconv.Atoi(second)
+	if err != nil || v < 64 || v >= 64+32*4 {
+		return 0, false
+	}
+	return IPResidential + IPClass((v-64)/32), true
 }
 
 // SetBanner records a Shodan-style service banner for an IP.
@@ -270,8 +320,13 @@ func (n *Internet) CountryOf(ip string) string {
 }
 
 // ClassOf returns the provenance class of an IP (unknown IPs read as
-// datacenter, the conservative default used by reputation feeds).
+// datacenter, the conservative default used by reputation feeds). Seeded
+// egress addresses are classified structurally by their CGNAT block, so
+// they never need a ledger entry.
 func (n *Internet) ClassOf(ip string) IPClass {
+	if c, ok := seededClassOf(ip); ok {
+		return c
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if c, ok := n.ipClass[ip]; ok {
@@ -305,9 +360,26 @@ func (n *Internet) resolveAt(host, clientIP string, at time.Time) (string, error
 	host = strings.ToLower(host)
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.queryLog[host] = append(n.queryLog[host], QueryRecord{
-		Host: host, At: at, From: clientIP,
-	})
+	if n.spill != nil {
+		// Spill mode folds live observations into per-host-day aggregates
+		// instead of growing the per-query ledger; QueryVolume reads them
+		// alongside the background aggregates, so totals come out the same
+		// at day granularity. They stay separate from queryAgg so
+		// BackgroundQueryVolume keeps counting victim traffic only.
+		if n.queryAggLive == nil {
+			n.queryAggLive = map[string]map[string]int{}
+		}
+		if n.queryAggLive[host] == nil {
+			// Clone the key: host is often a substring of a much larger
+			// URL, and a map key must not pin that backing array.
+			n.queryAggLive[strings.Clone(host)] = map[string]int{}
+		}
+		n.queryAggLive[host][at.Format("2006-01-02")]++
+	} else {
+		n.queryLog[host] = append(n.queryLog[host], QueryRecord{
+			Host: host, At: at, From: clientIP,
+		})
+	}
 	ip, ok := n.dns[host]
 	if !ok {
 		return "", fmt.Errorf("resolving %q: %w", host, ErrNXDomain)
@@ -379,14 +451,16 @@ func (n *Internet) QueryVolume(host string, window time.Duration, until time.Tim
 		day := q.At.Format("2006-01-02")
 		perDay[day]++
 	}
-	for _, day := range sortedDays(n.queryAgg[host]) {
-		c := n.queryAgg[host][day]
-		t, err := time.Parse("2006-01-02", day)
-		if err != nil || t.Before(since.Add(-24*time.Hour)) || t.After(until) {
-			continue
+	for _, agg := range []map[string]int{n.queryAgg[host], n.queryAggLive[host]} {
+		for _, day := range sortedDays(agg) {
+			c := agg[day]
+			t, err := time.Parse("2006-01-02", day)
+			if err != nil || t.Before(since.Add(-24*time.Hour)) || t.After(until) {
+				continue
+			}
+			total += c
+			perDay[day] += c
 		}
-		total += c
-		perDay[day] += c
 	}
 	for _, day := range sortedDays(perDay) {
 		if perDay[day] > maxDaily {
@@ -622,9 +696,12 @@ func statusClass(status int) string {
 func (n *Internet) logExchange(req *Request, status int, at time.Time) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.trafficLog = append(n.trafficLog, LoggedExchange{
-		Request: *req, Status: status, At: at,
-	})
+	e := LoggedExchange{Request: *req, Status: status, At: at}
+	if n.spill != nil {
+		n.spillExchangeLocked(&e)
+		return
+	}
+	n.trafficLog = append(n.trafficLog, e)
 	if n.trafficByHost == nil {
 		n.trafficByHost = map[string][]int{}
 	}
@@ -635,6 +712,22 @@ func (n *Internet) logExchange(req *Request, status int, at time.Time) {
 // read the ledger should prefer EachTraffic, which avoids the copy.
 func (n *Internet) Traffic() []LoggedExchange {
 	n.mu.Lock()
+	if n.spill != nil {
+		store := n.spill
+		count := n.spilled
+		n.mu.Unlock()
+		out := make([]LoggedExchange, 0, count)
+		_ = store.Each(func(_ evstore.Handle, kind evstore.Kind, payload []byte) bool {
+			if kind != evstore.KindExchange {
+				return true
+			}
+			if e, err := decodeExchange(payload); err == nil {
+				out = append(out, e)
+			}
+			return true
+		})
+		return out
+	}
 	defer n.mu.Unlock()
 	out := make([]LoggedExchange, len(n.trafficLog))
 	copy(out, n.trafficLog)
@@ -645,6 +738,9 @@ func (n *Internet) Traffic() []LoggedExchange {
 func (n *Internet) TrafficLen() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.spill != nil {
+		return n.spilled
+	}
 	return len(n.trafficLog)
 }
 
@@ -659,6 +755,25 @@ func (n *Internet) TrafficLen() int {
 // into the Internet (no lock is held during iteration).
 func (n *Internet) EachTraffic(fn func(e *LoggedExchange) bool) {
 	n.mu.Lock()
+	if n.spill != nil {
+		store := n.spill
+		n.mu.Unlock()
+		// Spill mode: sequential scan of the evidence store, decoding each
+		// exchange on demand. Records of other kinds sharing the store are
+		// skipped; a record that fails to decode is dropped (the spill
+		// counter already surfaced the loss if the append failed).
+		_ = store.Each(func(_ evstore.Handle, kind evstore.Kind, payload []byte) bool {
+			if kind != evstore.KindExchange {
+				return true
+			}
+			e, err := decodeExchange(payload)
+			if err != nil {
+				return true
+			}
+			return fn(&e)
+		})
+		return
+	}
 	log := n.trafficLog
 	n.mu.Unlock()
 	for i := range log {
@@ -669,12 +784,30 @@ func (n *Internet) EachTraffic(fn func(e *LoggedExchange) bool) {
 }
 
 // EachTrafficTo calls fn for every logged exchange addressed to host, in
-// log order, until fn returns false. It walks the by-host index, so the
-// cost scales with the host's own traffic, not the whole ledger. The same
-// zero-copy snapshot semantics as EachTraffic apply.
+// log order, until fn returns false. In RAM mode it walks the by-host
+// index, so the cost scales with the host's own traffic, not the whole
+// ledger; in spill mode it scans the store, decoding only records whose
+// host matches — a post-run reporting path, priced accordingly so that
+// nothing per-exchange stays resident during the run. The same zero-copy
+// snapshot semantics as EachTraffic apply.
 func (n *Internet) EachTrafficTo(host string, fn func(e *LoggedExchange) bool) {
 	host = strings.ToLower(host)
 	n.mu.Lock()
+	if n.spill != nil {
+		store := n.spill
+		n.mu.Unlock()
+		_ = store.Each(func(_ evstore.Handle, kind evstore.Kind, payload []byte) bool {
+			if kind != evstore.KindExchange {
+				return true
+			}
+			e, err := decodeExchange(payload)
+			if err != nil || e.Request.Host != host {
+				return true
+			}
+			return fn(&e)
+		})
+		return
+	}
 	log := n.trafficLog
 	idx := n.trafficByHost[host]
 	n.mu.Unlock()
@@ -685,11 +818,21 @@ func (n *Internet) EachTrafficTo(host string, fn func(e *LoggedExchange) bool) {
 	}
 }
 
-// TrafficTo returns a copy of the exchanges addressed to a host. Built on
-// the by-host index, so it never scans unrelated traffic.
+// TrafficTo returns a copy of the exchanges addressed to a host. In RAM
+// mode it is built on the by-host index, so it never scans unrelated
+// traffic; in spill mode it filters a store scan, like EachTrafficTo.
 func (n *Internet) TrafficTo(host string) []LoggedExchange {
 	host = strings.ToLower(host)
 	n.mu.Lock()
+	if n.spill != nil {
+		n.mu.Unlock()
+		var out []LoggedExchange
+		n.EachTrafficTo(host, func(e *LoggedExchange) bool {
+			out = append(out, *e)
+			return true
+		})
+		return out
+	}
 	log := n.trafficLog
 	idx := n.trafficByHost[host]
 	n.mu.Unlock()
