@@ -6,15 +6,16 @@ BENCHTIME ?= 0.2s
 BENCHCOUNT ?= 5
 PR ?= 7
 
-.PHONY: check build vet lint test race bench bench-scale benchquick tracecheck
+.PHONY: check build vet lint lint-sarif lint-test test race bench bench-scale benchquick tracecheck
 
 # check is the repository's quality gate (DESIGN.md §7): compile, vet, the
-# cblint invariant linter (DESIGN.md §9), the full test suite (plain and
-# under the race detector — the race run includes the workers-1-vs-8
-# determinism tests and the concurrent-census test), one pass of the
-# pipeline-throughput benchmarks (serial + worker pool), and the trace
-# golden check (DESIGN.md §10).
-check: build vet lint test race benchquick tracecheck
+# cblint invariant linter in baseline and SARIF modes plus its own test
+# suite under the race detector (DESIGN.md §9, §13), the full test suite
+# (plain and under the race detector — the race run includes the
+# workers-1-vs-8 determinism tests and the concurrent-census test), one pass
+# of the pipeline-throughput benchmarks (serial + worker pool), and the
+# trace golden check (DESIGN.md §10).
+check: build vet lint lint-sarif lint-test test race benchquick tracecheck
 
 build:
 	$(GO) build ./...
@@ -22,11 +23,25 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs cblint, the stdlib-only invariant linter (determinism, maprange,
-# ctxflow, guarded, resilience — see `go run ./cmd/cblint -list` and
-# DESIGN.md §9).
+# lint runs cblint, the stdlib-only invariant linter (see `go run
+# ./cmd/cblint -list` and DESIGN.md §9, §13), against the committed baseline:
+# findings recorded in lint.baseline.json are accepted debt, any NEW finding
+# fails the run. The committed baseline is empty — the repo is clean — so in
+# practice every finding fails; regenerate after deliberate acceptance with
+#   go run ./cmd/cblint -write-baseline lint.baseline.json ./...
 lint:
-	$(GO) run ./cmd/cblint ./...
+	$(GO) run ./cmd/cblint -baseline lint.baseline.json ./...
+
+# lint-sarif writes the findings as SARIF 2.1.0 for CI annotation.
+lint-sarif:
+	$(GO) run ./cmd/cblint -baseline lint.baseline.json -sarif cblint.sarif ./...
+
+# lint-test runs the analyzer suite's own tests (fixtures, facts engine,
+# driver) under the race detector — the linter is concurrent (parallel
+# per-package analysis over a shared facts engine), so its tests race-gate
+# the engine's locking.
+lint-test:
+	$(GO) test -race ./internal/lint/... ./cmd/cblint/...
 
 test:
 	$(GO) test ./...

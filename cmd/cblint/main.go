@@ -4,10 +4,23 @@
 //
 // Usage:
 //
-//	cblint [-json] [-list] [pattern ...]
+//	cblint [flags] [pattern ...]
 //
 // A pattern is a directory, or a directory followed by /... to walk the
-// subtree (the default is ./...). Exit status is 0 when clean, 1 when any
+// subtree (the default is ./...). Flags:
+//
+//	-json            emit findings as a JSON object (analyzer version,
+//	                 findings with file content hashes)
+//	-list            print the analyzer registry and exit
+//	-baseline FILE   load accepted findings; only NEW findings fail the run
+//	-write-baseline FILE
+//	                 snapshot current findings as the baseline and exit
+//	-sarif FILE      additionally write findings as SARIF 2.1.0 ("-" = stdout)
+//	-suggest         print ready-to-paste //cblint:ignore lines per finding
+//	-factcache FILE  persist cross-package facts keyed by content hash
+//	-parallel N      analyze N packages concurrently (default GOMAXPROCS)
+//
+// Exit status is 0 when clean (or all findings baselined), 1 when any new
 // unsuppressed finding exists, 2 on a driver error.
 package main
 
@@ -19,7 +32,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 
 	"crawlerbox/internal/lint"
 )
@@ -28,11 +43,26 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonReport is the -json output shape. The version stamp and per-finding
+// content hashes make reports (and baselines derived from them) comparable
+// across checkouts: identical sources produce identical reports no matter
+// where the repo lives on disk.
+type jsonReport struct {
+	Version  string            `json:"cblint_version"`
+	Findings []lint.Diagnostic `json:"findings"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cblint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON object with version and file hashes")
 	list := fs.Bool("list", false, "print the analyzer registry and exit")
+	baselinePath := fs.String("baseline", "", "baseline file of accepted findings; only new findings fail")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit")
+	sarifPath := fs.String("sarif", "", "write findings as SARIF 2.1.0 to this file (\"-\" for stdout)")
+	suggest := fs.Bool("suggest", false, "print ready-to-paste //cblint:ignore suppressions per finding")
+	factCache := fs.String("factcache", "", "cache cross-package facts in this file, keyed by content hash")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "number of packages analyzed concurrently")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -53,9 +83,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	root := moduleRoot()
 	loader := lint.NewLoader(root)
-	analyzers := lint.Registry()
-	var diags []lint.Diagnostic
-	packages, suppressed := 0, 0
+	facts := lint.NewFacts(loader)
+	if *factCache != "" {
+		facts.LoadCache(*factCache)
+	}
+
+	// Load sequentially — the loader's dependency cache is not safe for
+	// concurrent use — and precompute each package's facts so the parallel
+	// phase below only reads memoized summaries.
+	var pkgs []*lint.Package
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
 		if err != nil {
@@ -65,34 +101,138 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "cblint:", err)
 			return 2
 		}
-		packages++
-		res := lint.RunPackage(pkg, analyzers)
+		facts.Record(pkg)
+		pkgs = append(pkgs, pkg)
+	}
+
+	analyzers := lint.Registry()
+	results := make([]lint.Result, len(pkgs))
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = lint.RunPackage(pkgs[i], analyzers, facts)
+			}
+		}()
+	}
+	for i := range pkgs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	var diags []lint.Diagnostic
+	suppressed := 0
+	for _, res := range results {
 		diags = append(diags, res.Diagnostics...)
 		suppressed += res.Suppressed
 	}
+	stampHashes(diags)
 	relativize(diags)
 	lint.SortDiagnostics(diags)
-	if *jsonOut {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []lint.Diagnostic{}
+
+	if *factCache != "" {
+		if err := facts.SaveCache(); err != nil {
+			fmt.Fprintln(stderr, "cblint: saving fact cache:", err)
 		}
-		if err := enc.Encode(diags); err != nil {
+	}
+
+	if *writeBaseline != "" {
+		if err := lint.NewBaseline(diags).Write(*writeBaseline); err != nil {
 			fmt.Fprintln(stderr, "cblint:", err)
 			return 2
 		}
-	} else {
+		fmt.Fprintf(stderr, "cblint: wrote baseline with %d findings to %s\n",
+			len(diags), *writeBaseline)
+		return 0
+	}
+
+	accepted := 0
+	if *baselinePath != "" {
+		base, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "cblint:", err)
+			return 2
+		}
+		if base.Version != lint.Version {
+			fmt.Fprintf(stderr, "cblint: baseline written by version %s, running %s — regenerate with -write-baseline\n",
+				base.Version, lint.Version)
+		}
+		var old []lint.Diagnostic
+		diags, old = base.Filter(diags)
+		accepted = len(old)
+	}
+
+	if *sarifPath != "" {
+		out := stdout
+		if *sarifPath != "-" {
+			f, err := os.Create(*sarifPath)
+			if err != nil {
+				fmt.Fprintln(stderr, "cblint:", err)
+				return 2
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := lint.WriteSARIF(out, diags); err != nil {
+			fmt.Fprintln(stderr, "cblint:", err)
+			return 2
+		}
+	}
+
+	switch {
+	case *jsonOut:
+		report := jsonReport{Version: lint.Version, Findings: diags}
+		if report.Findings == nil {
+			report.Findings = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "cblint:", err)
+			return 2
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
+			if *suggest {
+				fmt.Fprintf(stdout, "\t%s:%d: paste above the line:\n", d.File, d.Line)
+				fmt.Fprintf(stdout, "\t//cblint:ignore %s <why this site is safe>\n", d.Analyzer)
+			}
 		}
-		fmt.Fprintf(stderr, "cblint: %d packages, %d findings, %d suppressed\n",
-			packages, len(diags), suppressed)
+		fmt.Fprintf(stderr, "cblint: %d packages, %d findings, %d suppressed",
+			len(pkgs), len(diags), suppressed)
+		if *baselinePath != "" {
+			fmt.Fprintf(stderr, ", %d baselined", accepted)
+		}
+		fmt.Fprintln(stderr)
 	}
 	if len(diags) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// stampHashes fills each finding's FileHash from the file contents (paths
+// are still absolute here). Hashes are memoized per file.
+func stampHashes(diags []lint.Diagnostic) {
+	hashes := map[string]string{}
+	for i := range diags {
+		path := diags[i].File
+		h, ok := hashes[path]
+		if !ok {
+			h = lint.HashFile(path)
+			hashes[path] = h
+		}
+		diags[i].FileHash = h
+	}
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

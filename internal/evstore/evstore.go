@@ -131,6 +131,8 @@ func Open(path string) (*Store, error) {
 
 // Append writes one record and returns its handle. The record is buffered;
 // it is durable (and readable through At) after Flush or Close.
+//
+//cblint:hotpath
 func (s *Store) Append(kind Kind, payload []byte) (Handle, error) {
 	if len(payload) > MaxRecordSize {
 		return Handle{}, fmt.Errorf("evstore: payload %d exceeds max %d", len(payload), MaxRecordSize)

@@ -176,6 +176,11 @@ func OCR(img *Image, minScore float64) []string {
 	if minScore <= 0 || minScore > 1 {
 		minScore = 0.9
 	}
+	// A decoded raster with inconsistent dimensions (hostile CBI input) must
+	// not size the ink buffer; Gray trusts Pix to match W and H.
+	if img == nil || img.W <= 0 || img.H <= 0 || len(img.Pix) != img.W*img.H {
+		return nil
+	}
 	const darkThreshold = 128.0
 	dark := make([]bool, img.W*img.H)
 	for y := 0; y < img.H; y++ {

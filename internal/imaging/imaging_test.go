@@ -185,6 +185,22 @@ func TestDrawTextAndWidth(t *testing.T) {
 	}
 }
 
+// TestOCRMalformedRaster is the regression for the taintflow finding: an
+// image whose Pix disagrees with W*H (reachable from hostile CBI bytes via
+// the parse path) must return nothing, not size a buffer from the bad W*H.
+func TestOCRMalformedRaster(t *testing.T) {
+	for _, img := range []*Image{
+		nil,
+		{W: 10, H: 7, Pix: nil},
+		{W: 10, H: 7, Pix: make([]RGB, 69)},
+		{W: -3, H: 7, Pix: make([]RGB, 21)},
+	} {
+		if got := OCR(img, 0.9); got != nil {
+			t.Errorf("OCR on malformed raster %+v = %q, want nil", img, got)
+		}
+	}
+}
+
 func TestOCRRoundTrip(t *testing.T) {
 	tests := []string{
 		"HELLO WORLD",

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// This file implements the accepted-debt baseline: a committed snapshot of
+// known findings that `make lint` tolerates, so the gate fails only on NEW
+// findings while the old ones are burned down incrementally. Entries match
+// on (analyzer, file, message) with a count — deliberately line-agnostic,
+// because unrelated edits move line numbers and a baseline that churns on
+// every edit trains people to regenerate it blindly.
+
+// BaselineEntry is one accepted finding class.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	// Count is how many identical findings the baseline accepts in File.
+	Count int `json:"count"`
+	// FileHash records File's content hash at baseline time — informational
+	// (it shows whether the file changed since acceptance), never a match
+	// key.
+	FileHash string `json:"file_hash,omitempty"`
+}
+
+// Baseline is a loaded baseline file.
+type Baseline struct {
+	// Version is the analyzer-suite version that wrote the baseline. A
+	// mismatch with the running suite does not invalidate matching, but the
+	// driver surfaces it so stale baselines get regenerated.
+	Version string          `json:"cblint_version"`
+	Entries []BaselineEntry `json:"findings"`
+}
+
+// baselineKey is the matching identity.
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// LoadBaseline reads a baseline written by WriteBaseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// NewBaseline folds findings into baseline entries (sorted, counted).
+// Diagnostics must already carry relative File paths and FileHash.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	counts := map[baselineKey]int{}
+	hashes := map[baselineKey]string{}
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, d.File, d.Message}
+		counts[k]++
+		hashes[k] = d.FileHash
+	}
+	b := &Baseline{Version: Version, Entries: []BaselineEntry{}}
+	keys := make([]baselineKey, 0, len(counts))
+	//cblint:ignore maprange keys collected then sorted
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, c := keys[i], keys[j]
+		if a.file != c.file {
+			return a.file < c.file
+		}
+		if a.analyzer != c.analyzer {
+			return a.analyzer < c.analyzer
+		}
+		return a.message < c.message
+	})
+	for _, k := range keys {
+		b.Entries = append(b.Entries, BaselineEntry{
+			Analyzer: k.analyzer,
+			File:     k.file,
+			Message:  k.message,
+			Count:    counts[k],
+			FileHash: hashes[k],
+		})
+	}
+	return b
+}
+
+// Write serializes the baseline to path.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits findings into new (not covered by the baseline) and
+// accepted. Each baseline entry absorbs up to Count matching findings;
+// extras past the accepted count are new.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh, accepted []Diagnostic) {
+	remaining := map[baselineKey]int{}
+	for _, e := range b.Entries {
+		remaining[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, d.File, d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			accepted = append(accepted, d)
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, accepted
+}

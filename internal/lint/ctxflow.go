@@ -46,7 +46,7 @@ func libraryCode(importPath string) bool {
 }
 
 // Check implements Analyzer.
-func (c CtxFlow) Check(pkg *Package) []Diagnostic {
+func (c CtxFlow) Check(pkg *Package, _ *Facts) []Diagnostic {
 	var diags []Diagnostic
 	library := libraryCode(pkg.ImportPath)
 	for _, f := range pkg.Files {

@@ -54,7 +54,7 @@ func (Determinism) Applies(importPath string) bool {
 }
 
 // Check implements Analyzer.
-func (d Determinism) Check(pkg *Package) []Diagnostic {
+func (d Determinism) Check(pkg *Package, _ *Facts) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		table := importTable(f)

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const (
+	taintfixPath = "crawlerbox/internal/lint/testdata/src/taintfix"
+	taintlibPath = "crawlerbox/internal/lint/testdata/src/taintfix/taintlib"
+)
+
+func newTestFacts() *Facts {
+	return NewFacts(NewLoader(filepath.Join("..", "..")))
+}
+
+// TestFactsSummaryForTaintlib pins the export data the fixture relies on:
+// taintlib.At sinks its index parameter (param 1 — param 0 is the slice).
+func TestFactsSummaryForTaintlib(t *testing.T) {
+	pf := newTestFacts().For(taintlibPath)
+	if pf == nil {
+		t.Fatalf("no facts for %s", taintlibPath)
+	}
+	if !strings.HasPrefix(pf.Hash, "sha256:") {
+		t.Errorf("package hash = %q, want sha256-prefixed", pf.Hash)
+	}
+	ff := pf.Funcs["At"]
+	if ff == nil {
+		t.Fatalf("no summary for At; have %v", pf.Funcs)
+	}
+	found := false
+	for _, s := range ff.Sinks {
+		if s.Param == 1 && s.Sink == "slice index" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("At sinks = %+v, want param 1 reaching a slice index", ff.Sinks)
+	}
+}
+
+// TestFactsRecordsDeps verifies compute-time provenance: a package that
+// consumed a dependency's facts records the dependency's hash, which is
+// what cache validation replays.
+func TestFactsRecordsDeps(t *testing.T) {
+	pf := newTestFacts().For(taintfixPath)
+	if pf == nil {
+		t.Fatalf("no facts for %s", taintfixPath)
+	}
+	if _, ok := pf.Deps[taintlibPath]; !ok {
+		t.Errorf("deps = %v, want %s recorded", pf.Deps, taintlibPath)
+	}
+}
+
+// TestFactsCacheRoundTripAndInvalidation exercises the cache lifecycle:
+// save, adopt on reload, recompute on a stale content hash, and discard on
+// an analyzer version mismatch.
+func TestFactsCacheRoundTripAndInvalidation(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "facts.json")
+	e1 := newTestFacts()
+	e1.LoadCache(cache)
+	pf1 := e1.For(taintlibPath)
+	if pf1 == nil {
+		t.Fatalf("no facts for %s", taintlibPath)
+	}
+	if err := e1.SaveCache(); err != nil {
+		t.Fatalf("SaveCache: %v", err)
+	}
+
+	// A fresh engine adopts the cached entry and lands on the same summary.
+	e2 := newTestFacts()
+	e2.LoadCache(cache)
+	if len(e2.disk) == 0 {
+		t.Fatal("cache file loaded no entries")
+	}
+	pf2 := e2.For(taintlibPath)
+	if pf2 == nil || pf2.Hash != pf1.Hash {
+		t.Fatalf("reloaded facts = %+v, want hash %s", pf2, pf1.Hash)
+	}
+	if !equalFacts(pf1.Funcs["At"], pf2.Funcs["At"]) {
+		t.Errorf("cached summary diverged: %+v vs %+v", pf1.Funcs["At"], pf2.Funcs["At"])
+	}
+
+	// A stale content hash invalidates the entry; the engine recomputes and
+	// lands back on the true hash instead of trusting the cache.
+	data, err := os.ReadFile(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f factCacheFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	f.Packages[taintlibPath].Hash = "sha256:stale"
+	tampered, _ := json.Marshal(f)
+	if err := os.WriteFile(cache, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e3 := newTestFacts()
+	e3.LoadCache(cache)
+	pf3 := e3.For(taintlibPath)
+	if pf3 == nil || pf3.Hash != pf1.Hash {
+		t.Errorf("stale entry not recomputed: %+v, want hash %s", pf3, pf1.Hash)
+	}
+
+	// A version mismatch discards the whole file.
+	f.Packages[taintlibPath].Hash = pf1.Hash
+	f.Version = "0.0.0"
+	mismatched, _ := json.Marshal(f)
+	if err := os.WriteFile(cache, mismatched, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e4 := newTestFacts()
+	e4.LoadCache(cache)
+	if len(e4.disk) != 0 {
+		t.Errorf("version-mismatched cache produced %d entries, want 0", len(e4.disk))
+	}
+}

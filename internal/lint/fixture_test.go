@@ -59,14 +59,16 @@ func parseWants(pkg *Package) []*expectation {
 
 // checkFixture runs one analyzer over a fixture and verifies the findings
 // line up with the want comments, and that exactly wantSuppressed findings
-// were silenced by ignore directives.
+// were silenced by ignore directives. The analyzer gets a live facts engine
+// so cross-package fixtures exercise real interprocedural propagation.
 func checkFixture(t *testing.T, a Analyzer, dir string, wantSuppressed int) {
 	t.Helper()
 	pkg := loadFixture(t, dir)
 	if !a.Applies(pkg.ImportPath) {
 		t.Fatalf("%s does not apply to fixture import path %q", a.Name(), pkg.ImportPath)
 	}
-	res := RunPackage(pkg, []Analyzer{a})
+	facts := NewFacts(NewLoader(filepath.Join("..", "..")))
+	res := RunPackage(pkg, []Analyzer{a}, facts)
 	wants := parseWants(pkg)
 	if len(wants) < 2 {
 		t.Fatalf("fixture %s demonstrates %d positives; want at least 2", dir, len(wants))
@@ -116,12 +118,24 @@ func TestStreamSafeFixture(t *testing.T) {
 	checkFixture(t, StreamSafe{}, "streamfix", 1)
 }
 
+func TestTaintFlowFixture(t *testing.T) {
+	checkFixture(t, TaintFlow{}, "taintfix", 1)
+}
+
+func TestShardPureFixture(t *testing.T) {
+	checkFixture(t, ShardPure{}, "shardfix", 1)
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	checkFixture(t, HotAlloc{}, "hotfix", 1)
+}
+
 // TestSuppressionDirective pins the directive semantics: a named directive
 // and the "all" wildcard silence the finding on the next line, and a
 // directive without a reason both fails to suppress and is itself reported.
 func TestSuppressionDirective(t *testing.T) {
 	pkg := loadFixture(t, "suppressfix")
-	res := RunPackage(pkg, Registry())
+	res := RunPackage(pkg, Registry(), nil)
 	if res.Suppressed != 2 {
 		t.Errorf("suppressed = %d, want 2 (named + wildcard)", res.Suppressed)
 	}
@@ -148,7 +162,8 @@ func TestRegistryOrder(t *testing.T) {
 	for _, a := range Registry() {
 		names = append(names, a.Name())
 	}
-	want := []string{"determinism", "maprange", "ctxflow", "guarded", "resilience", "streamsafe"}
+	want := []string{"determinism", "maprange", "ctxflow", "guarded", "resilience", "streamsafe",
+		"taintflow", "shardpure", "hotalloc"}
 	if fmt.Sprint(names) != fmt.Sprint(want) {
 		t.Errorf("Registry() order = %v, want %v", names, want)
 	}

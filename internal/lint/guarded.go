@@ -49,7 +49,7 @@ type guardedField struct {
 }
 
 // Check implements Analyzer.
-func (g Guarded) Check(pkg *Package) []Diagnostic {
+func (g Guarded) Check(pkg *Package, _ *Facts) []Diagnostic {
 	var diags []Diagnostic
 	guards := map[string]map[string]string{} // struct -> field -> guard
 	// Pass 1: collect annotations and validate the guard field exists.

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotpathDirective marks a function as per-message hot path: it runs once
+// per corpus message on the streaming analyze/census/evidence path, so its
+// allocations multiply by a million under the paper-scale corpus. The
+// directive goes in the function's doc comment:
+//
+//	//cblint:hotpath
+//	func (s *CensusShard) AddAnalysis(idx int, ma *crawlerbox.MessageAnalysis) {
+const HotpathDirective = "cblint:hotpath"
+
+// HotAlloc enforces the ~O(1)-allocation-per-message contract on hot-path
+// functions (DESIGN.md §11, §13). Inside a //cblint:hotpath function:
+//
+//  1. append must target a slice declared in the function itself — an
+//     append into a captured, receiver-reachable, or package-level slice
+//     accumulates across calls and grows with the corpus.
+//  2. fmt.Sprintf-family calls (Sprintf, Sprint, Sprintln, Errorf) must not
+//     sit inside a loop: each call allocates a string, and loops on the hot
+//     path run per message part.
+//  3. Map writes into captured/receiver maps must not be keyed by
+//     per-message identity (a key expression reading an ID, URL, or Path
+//     field): such maps grow one entry per message. Bounded-domain keys
+//     (hosts, outcome labels, cloak kinds) are fine; sanctioned identity-
+//     keyed sites carry an explicit //cblint:ignore with the reason.
+type HotAlloc struct{}
+
+// Name implements Analyzer.
+func (HotAlloc) Name() string { return "hotalloc" }
+
+// Doc implements Analyzer.
+func (HotAlloc) Doc() string {
+	return "//cblint:hotpath functions must not allocate proportionally to corpus size (captured-slice appends, Sprintf in loops, identity-keyed map growth)"
+}
+
+// Applies implements Analyzer: internal production code.
+func (HotAlloc) Applies(importPath string) bool {
+	return strings.Contains(importPath+"/", "/internal/") ||
+		strings.HasPrefix(importPath, "internal/")
+}
+
+// Check implements Analyzer.
+func (HotAlloc) Check(pkg *Package, _ *Facts) []Diagnostic {
+	if pkg.Info == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			diags = append(diags, checkHotFunc(pkg, fd)...)
+		}
+	}
+	return diags
+}
+
+// isHotpath reports whether the function's doc comment carries the
+// directive.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == HotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotFunc walks one hot function, tracking loop depth.
+func checkHotFunc(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch node := m.(type) {
+			case *ast.ForStmt:
+				if node.Init != nil {
+					walk(node.Init, inLoop)
+				}
+				walk(node.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(node.Body, true)
+				return false
+			case *ast.FuncLit:
+				// A closure defined on the hot path inherits the contract:
+				// it is called from here or captured into the same flow.
+				walk(node.Body, inLoop)
+				return false
+			case *ast.CallExpr:
+				diags = append(diags, checkHotCall(pkg, fd, node, inLoop)...)
+			case *ast.AssignStmt:
+				for _, lhs := range node.Lhs {
+					diags = append(diags, checkHotMapWrite(pkg, fd, lhs)...)
+				}
+			case *ast.IncDecStmt:
+				diags = append(diags, checkHotMapWrite(pkg, fd, node.X)...)
+			}
+			return true
+		})
+	}
+	walk(fd.Body, false)
+	return diags
+}
+
+// checkHotCall flags rule-1 appends and rule-2 Sprintf-in-loop calls.
+func checkHotCall(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr, inLoop bool) []Diagnostic {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			root := writeRoot(pkg, call.Args[0])
+			if root != nil && !bodyLocal(root, fd) {
+				return []Diagnostic{{
+					Analyzer: "hotalloc",
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Message: fmt.Sprintf("hotpath append into %s, which outlives the call; per-message appends into captured slices grow with the corpus",
+						exprString(call.Args[0])),
+				}}
+			}
+		}
+		return nil
+	}
+	if !inLoop {
+		return nil
+	}
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			switch fn.Name() {
+			case "Sprintf", "Sprint", "Sprintln", "Errorf":
+				return []Diagnostic{{
+					Analyzer: "hotalloc",
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Message: fmt.Sprintf("fmt.%s inside a hotpath loop allocates per iteration; format once outside the loop or index a precomputed table",
+						fn.Name()),
+				}}
+			}
+		}
+	}
+	return nil
+}
+
+// identityKeyNames are the selector/identifier names that mark a map key as
+// per-message identity.
+var identityKeyNames = map[string]bool{
+	"ID": true, "URL": true, "Path": true,
+	"id": true, "url": true, "path": true,
+}
+
+// checkHotMapWrite flags rule-3 identity-keyed growth of long-lived maps.
+func checkHotMapWrite(pkg *Package, fd *ast.FuncDecl, lhs ast.Expr) []Diagnostic {
+	idx, ok := unparen(lhs).(*ast.IndexExpr)
+	if !ok || !isMapExpr(pkg, idx.X) {
+		return nil
+	}
+	root := writeRoot(pkg, idx.X)
+	if root == nil || bodyLocal(root, fd) {
+		return nil
+	}
+	if !mentionsIdentity(pkg, idx.Index) {
+		return nil
+	}
+	return []Diagnostic{{
+		Analyzer: "hotalloc",
+		Pos:      pkg.Fset.Position(lhs.Pos()),
+		Message: fmt.Sprintf("hotpath map write %s keyed by per-message identity grows one entry per message; aggregate into a bounded key or sanction the site with an ignore",
+			exprString(lhs)),
+	}}
+}
+
+// bodyLocal reports whether v is declared inside the function body. Unlike
+// shardpure's localDef, the receiver and parameters do NOT count: they are
+// state from the caller's frame, so slices and maps reached through them
+// outlive the hot call.
+func bodyLocal(obj types.Object, fd *ast.FuncDecl) bool {
+	return fd.Body != nil && obj.Pos() >= fd.Body.Pos() && obj.Pos() <= fd.Body.End()
+}
+
+// mentionsIdentity reports whether the key expression reads an identity
+// field or variable.
+func mentionsIdentity(pkg *Package, key ast.Expr) bool {
+	found := false
+	ast.Inspect(key, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.SelectorExpr:
+			if identityKeyNames[node.Sel.Name] {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if identityKeyNames[node.Name] {
+				// Only variables count — a type or package named "url"
+				// appearing in a conversion is not an identity read.
+				if _, ok := pkg.Info.Uses[node].(*types.Var); ok {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,7 +1,8 @@
-// Package lint is cblint: a from-scratch static-analysis pass, built on
+// Package lint is cblint: a from-scratch static-analysis suite, built on
 // nothing but the standard library's go/parser, go/build, and go/types, that
-// machine-checks the invariants the pipeline's reproducibility guarantee
-// rests on (DESIGN.md §9). Six analyzers ship today:
+// machine-checks the invariants the pipeline's reproducibility and
+// bounded-memory guarantees rest on (DESIGN.md §9, §13). Nine analyzers ship
+// today — six per-package passes:
 //
 //   - determinism: wall-clock reads and global math/rand calls are banned in
 //     internal production code — time flows through webnet.Clock and
@@ -23,6 +24,26 @@
 //     goes through Corpus.Each and per-worker census shards so peak memory
 //     stays O(workers).
 //
+// and three multi-pass analyzers built on the cross-package Facts engine
+// (facts.go), which computes per-package function summaries once, caches
+// them by content hash, and serves them to downstream packages:
+//
+//   - taintflow: values derived from the attacker-facing parsers (mime,
+//     htmlx, pdfx, qrcode, minijs, urlx) are tainted; a tainted value
+//     reaching a panic-prone sink — slice/array indexing or slicing without
+//     a guarding bounds check in the same function, make with a tainted
+//     length, an unchecked unsigned-to-signed integer conversion,
+//     regexp.MustCompile of a tainted pattern — is a finding, with
+//     interprocedural propagation through function summaries.
+//   - shardpure: a type with a Merge method (CensusShard, obs.Registry, …)
+//     must only write receiver-reachable state, must pin order-dependent
+//     slice folds with a comparator, and worker goroutines must not touch
+//     package-level mutable variables.
+//   - hotalloc: a function annotated //cblint:hotpath (the per-message
+//     stream/census/evidence path) must not allocate proportionally to
+//     corpus size — no append into captured slices, no fmt.Sprintf-family
+//     calls in loops, no map growth keyed by per-message identity.
+//
 // Findings are suppressed, one line at a time, with an explicit
 //
 //	//cblint:ignore <analyzer> <reason>
@@ -40,6 +61,12 @@ import (
 	"strings"
 )
 
+// Version is the analyzer-suite version stamped into JSON output, SARIF,
+// baselines, and the facts cache. Bump it whenever an analyzer's findings or
+// the facts format change shape: a version mismatch invalidates cached facts
+// and marks baselines as needing regeneration.
+const Version = "2.0.0"
+
 // Diagnostic is one finding, positioned for file:line:col reporting.
 type Diagnostic struct {
 	Analyzer string         `json:"analyzer"`
@@ -48,6 +75,10 @@ type Diagnostic struct {
 	Line     int            `json:"line"`
 	Col      int            `json:"col"`
 	Message  string         `json:"message"`
+	// FileHash is the content hash of File, filled by the driver so JSON
+	// output and baselines stay stable across checkouts (paths relative,
+	// hashes content-derived).
+	FileHash string `json:"file_hash,omitempty"`
 }
 
 func (d Diagnostic) String() string {
@@ -65,7 +96,9 @@ type Analyzer interface {
 	// and call Check directly.
 	Applies(importPath string) bool
 	// Check analyzes one package and returns raw (unsuppressed) findings.
-	Check(pkg *Package) []Diagnostic
+	// The facts engine carries cross-package function summaries; analyzers
+	// that are purely intra-package ignore it, and it may be nil.
+	Check(pkg *Package, facts *Facts) []Diagnostic
 }
 
 // Registry returns the analyzers in their canonical order.
@@ -77,6 +110,9 @@ func Registry() []Analyzer {
 		Guarded{},
 		Resilience{},
 		StreamSafe{},
+		TaintFlow{},
+		ShardPure{},
+		HotAlloc{},
 	}
 }
 
@@ -153,15 +189,17 @@ type Result struct {
 }
 
 // RunPackage applies every registered analyzer that covers pkg, resolves
-// suppressions, and returns position-sorted findings.
-func RunPackage(pkg *Package, analyzers []Analyzer) Result {
+// suppressions, and returns position-sorted findings. The facts engine may
+// be nil, in which case the cross-package analyzers degrade to intra-package
+// summaries.
+func RunPackage(pkg *Package, analyzers []Analyzer, facts *Facts) Result {
 	sup, diags := parseSuppressions(pkg)
 	var res Result
 	for _, a := range analyzers {
 		if !a.Applies(pkg.ImportPath) {
 			continue
 		}
-		diags = append(diags, a.Check(pkg)...)
+		diags = append(diags, a.Check(pkg, facts)...)
 	}
 	for _, d := range diags {
 		fill(&d)

@@ -136,6 +136,25 @@ func (l *Loader) dirFor(path string) (string, bool) {
 	return "", false
 }
 
+// localDir resolves an import path to a source directory only when the path
+// is module-local — the facts engine computes summaries for packages in this
+// repository, never for GOROOT.
+func (l *Loader) localDir(path string) (string, bool) {
+	if l.modPath == "" {
+		return "", false
+	}
+	if path == l.modPath {
+		return l.modDir, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		dir := filepath.Join(l.modDir, filepath.FromSlash(rest))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
 // Import implements types.Importer.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {

@@ -50,7 +50,7 @@ func (MapRange) Applies(importPath string) bool {
 }
 
 // Check implements Analyzer.
-func (m MapRange) Check(pkg *Package) []Diagnostic {
+func (m MapRange) Check(pkg *Package, _ *Facts) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		// Collect every function body so each range statement can be

@@ -52,7 +52,7 @@ func (Resilience) Applies(importPath string) bool {
 }
 
 // Check implements Analyzer.
-func (r Resilience) Check(pkg *Package) []Diagnostic {
+func (r Resilience) Check(pkg *Package, _ *Facts) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		table := importTable(f)

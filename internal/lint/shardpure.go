@@ -1,0 +1,404 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ShardPure verifies the contracts that make per-worker census shards and
+// metric registries safe to fold in any order (DESIGN.md §11, §13):
+//
+//  1. A method named Merge on a named type must only write state reachable
+//     from its receiver — no assignments to package-level variables, no
+//     writes through non-receiver roots. Merging shard B into shard A must
+//     touch A and read B, nothing else.
+//  2. Inside a Merge method, every tie between merge candidates must be
+//     pinned by a comparator: a plain `m[k] = v` overwrite of a map entry
+//     is order-dependent (last writer wins, and worker completion order is
+//     scheduling), so map-entry writes must be dominated by a comparison
+//     involving existing state, or commutatively accumulated (+=, |=,
+//     append, or arithmetic on the existing entry).
+//  3. A goroutine launched in a package that defines a Merge method (the
+//     worker pools that produce shards) must not reference package-level
+//     mutable variables — workers communicate through channels and their
+//     own shard, never through globals.
+type ShardPure struct{}
+
+// Name implements Analyzer.
+func (ShardPure) Name() string { return "shardpure" }
+
+// Doc implements Analyzer.
+func (ShardPure) Doc() string {
+	return "Merge methods write only receiver-reachable state with order ties pinned by comparators; worker goroutines touch no package-level mutable vars"
+}
+
+// Applies implements Analyzer: internal production code, where the shards
+// live.
+func (ShardPure) Applies(importPath string) bool {
+	return strings.Contains(importPath+"/", "/internal/") ||
+		strings.HasPrefix(importPath, "internal/")
+}
+
+// Check implements Analyzer.
+func (ShardPure) Check(pkg *Package, _ *Facts) []Diagnostic {
+	if pkg.Info == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	hasMerge := false
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv != nil && fd.Name.Name == "Merge" {
+				hasMerge = true
+				diags = append(diags, checkMergeMethod(pkg, fd)...)
+			}
+		}
+	}
+	if !hasMerge {
+		return diags
+	}
+	// Rule 3 only bites in packages that actually produce shards.
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				diags = append(diags, checkWorkerGlobals(pkg, fl)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkMergeMethod enforces rules 1 and 2 on one Merge body.
+func checkMergeMethod(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	recv := receiverObjs(pkg, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				diags = append(diags, checkMergeWrite(pkg, fd, lhs, recv, node)...)
+			}
+		case *ast.IncDecStmt:
+			diags = append(diags, checkMergeWrite(pkg, fd, node.X, recv, nil)...)
+		}
+		return true
+	})
+	return diags
+}
+
+// checkMergeWrite classifies one write inside Merge.
+func checkMergeWrite(pkg *Package, fd *ast.FuncDecl, lhs ast.Expr,
+	recv map[types.Object]bool, as *ast.AssignStmt) []Diagnostic {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return nil
+	}
+	root := writeRoot(pkg, lhs)
+	if root == nil {
+		return nil
+	}
+	// Rule 1: package-level variable writes are out.
+	if isPackageLevelVar(pkg, root) {
+		return []Diagnostic{{
+			Analyzer: "shardpure",
+			Pos:      pkg.Fset.Position(lhs.Pos()),
+			Message: fmt.Sprintf("Merge writes package-level variable %s; merges must only touch receiver-reachable state",
+				root.Name()),
+		}}
+	}
+	if !recv[root] && !localDef(pkg, root, fd) {
+		return []Diagnostic{{
+			Analyzer: "shardpure",
+			Pos:      pkg.Fset.Position(lhs.Pos()),
+			Message: fmt.Sprintf("Merge writes %s, which is not reachable from the receiver",
+				root.Name()),
+		}}
+	}
+	// Rule 2: a plain overwrite of a receiver map entry must be pinned.
+	if idx, ok := lhs.(*ast.IndexExpr); ok && recv[root] {
+		if isMapExpr(pkg, idx.X) && as != nil && as.Tok == token.ASSIGN {
+			if !commutativeRHS(pkg, as, idx) && !pinnedByComparator(pkg, fd, idx, as.Pos()) {
+				return []Diagnostic{{
+					Analyzer: "shardpure",
+					Pos:      pkg.Fset.Position(lhs.Pos()),
+					Message: fmt.Sprintf("order-dependent overwrite of %s in Merge: pin the winner with a comparator on existing state (last-writer-wins depends on worker scheduling)",
+						exprString(lhs)),
+				}}
+			}
+		}
+	}
+	return nil
+}
+
+// receiverObjs returns the receiver's object(s).
+func receiverObjs(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Recv == nil {
+		return out
+	}
+	for _, field := range fd.Recv.List {
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// writeRoot resolves the base object of an assignable expression.
+func writeRoot(pkg *Package, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[e]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[e]
+		case *ast.SelectorExpr:
+			// A package-qualified selector roots at the selected object.
+			if id, ok := e.X.(*ast.Ident); ok {
+				if _, isPkg := pkg.Info.Uses[id].(*types.PkgName); isPkg {
+					return pkg.Info.Uses[e.Sel]
+				}
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isPackageLevelVar reports whether the object is a mutable package-level
+// variable of this package.
+func isPackageLevelVar(pkg *Package, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	if pkg.Types == nil || v.Pkg() != pkg.Types {
+		return false
+	}
+	return v.Parent() == pkg.Types.Scope()
+}
+
+// localDef reports whether the object is declared inside the function body
+// (parameters included) — writes to locals are always fine; the receiver
+// check already covered escape through receiver fields.
+func localDef(pkg *Package, obj types.Object, fd *ast.FuncDecl) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return v.Pos() >= fd.Pos() && v.Pos() <= fd.End()
+}
+
+// isMapExpr reports whether the expression has map type.
+func isMapExpr(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// commutativeRHS reports whether the assignment's right side makes the
+// write order-independent: a constant (set-union `m[k] = true` lands on the
+// same value whichever shard writes last) or an expression accumulating the
+// existing entry — m[k] = m[k] + v, append(m[k], …) — which is commutative
+// up to the pinning of the combiner itself.
+func commutativeRHS(pkg *Package, as *ast.AssignStmt, idx *ast.IndexExpr) bool {
+	if len(as.Rhs) != 1 {
+		return false
+	}
+	if tv, ok := pkg.Info.Types[as.Rhs[0]]; ok && tv.Value != nil {
+		return true
+	}
+	target := exprString(idx)
+	mentions := false
+	ast.Inspect(as.Rhs[0], func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && exprString(e) == target {
+			mentions = true
+			return false
+		}
+		return true
+	})
+	return mentions
+}
+
+// pinnedByComparator reports whether a comparison involving the written map
+// entry (or the map itself) appears lexically before the write in the same
+// method — the `if old.count > new.count { return }` pinning idiom, or the
+// `existing, ok := m[k]; if ok && …` form.
+func pinnedByComparator(pkg *Package, fd *ast.FuncDecl, idx *ast.IndexExpr, pos token.Pos) bool {
+	mapName := exprString(idx.X)
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Pos() >= pos {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		// The comparison must involve state read from the target map (the
+		// existing entry or something derived from it).
+		involves := false
+		ast.Inspect(be, func(m ast.Node) bool {
+			if e, ok := m.(ast.Expr); ok {
+				s := exprString(e)
+				if s == mapName || strings.HasPrefix(s, mapName+"[") {
+					involves = true
+					return false
+				}
+			}
+			return true
+		})
+		if involves {
+			found = true
+			return false
+		}
+		return true
+	})
+	if found {
+		return true
+	}
+	// The comma-ok read `old, ok := m[k]` followed by any comparison on a
+	// variable bound from it also pins: find such reads before pos and check
+	// for comparisons mentioning their bindings.
+	var bound []types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Pos() >= pos || len(as.Rhs) != 1 {
+			return true
+		}
+		ridx, ok := unparen(as.Rhs[0]).(*ast.IndexExpr)
+		if !ok || exprString(ridx.X) != mapName {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					bound = append(bound, obj)
+				} else if obj := pkg.Info.Uses[id]; obj != nil {
+					bound = append(bound, obj)
+				}
+			}
+		}
+		return true
+	})
+	if len(bound) == 0 {
+		return false
+	}
+	objs := map[types.Object]bool{}
+	for _, o := range bound {
+		objs[o] = true
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Pos() >= pos {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		ast.Inspect(be, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := pkg.Info.Uses[id]; obj != nil && objs[obj] {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return !found
+	})
+	return found
+}
+
+// checkWorkerGlobals flags references to package-level mutable variables
+// inside a worker goroutine's function literal.
+func checkWorkerGlobals(pkg *Package, fl *ast.FuncLit) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pkg.Info.Uses[id]
+		if obj == nil || !isPackageLevelVar(pkg, obj) {
+			return true
+		}
+		// Immutable globals (error sentinels, compiled regexps, lookup
+		// tables never written after init) are tolerated when the goroutine
+		// only reads them; flagging every read would ban error comparisons.
+		// The rule targets writes and address-taking.
+		if !writtenInside(pkg, fl, obj) {
+			return true
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: "shardpure",
+			Pos:      pkg.Fset.Position(id.Pos()),
+			Message: fmt.Sprintf("worker goroutine writes package-level variable %s; workers must communicate through channels and their own shard",
+				obj.Name()),
+		})
+		return true
+	})
+	return diags
+}
+
+// writtenInside reports whether the goroutine body assigns to the object.
+func writtenInside(pkg *Package, fl *ast.FuncLit, obj types.Object) bool {
+	written := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if written {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				if writeRoot(pkg, lhs) == obj {
+					written = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if writeRoot(pkg, node.X) == obj {
+				written = true
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.AND && writeRoot(pkg, node.X) == obj {
+				written = true
+			}
+		}
+		return !written
+	})
+	return written
+}

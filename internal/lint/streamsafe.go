@@ -51,7 +51,7 @@ func (StreamSafe) Applies(importPath string) bool {
 }
 
 // Check implements Analyzer.
-func (s StreamSafe) Check(pkg *Package) []Diagnostic {
+func (s StreamSafe) Check(pkg *Package, _ *Facts) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -1,0 +1,1033 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the taint-analysis core shared by the facts engine and the
+// taintflow analyzer. The model is deliberately coarse — taint is tracked
+// per local variable object, not per field or per element — because the
+// question it answers is coarse too: can bytes an attacker controls reach a
+// site that panics or allocates unboundedly, with no bounds check anywhere
+// on the way? Precision comes from the guard rule (any comparison lexically
+// touching the value before the sink counts as a check, matching how the
+// parsers actually validate) and from a small set of sanitizers (len/cap,
+// modulo/mask by untainted values, regexp match positions, min with an
+// untainted bound), which keep the false-positive rate low enough that
+// every surviving finding deserves either a fix or a written-down reason.
+
+// taintSourceFuncs maps package-path suffixes to the functions whose
+// results carry fully attacker-controlled bytes: the parse entry points the
+// pipeline feeds raw MIME bodies, HTML, PDFs, QR payloads, and URLs into.
+var taintSourceFuncs = map[string][]string{
+	"internal/mime":    {"Parse"},
+	"internal/htmlx":   {"Parse", "DecodeEntities"},
+	"internal/pdfx":    {"Parse"},
+	"internal/qrcode":  {"DecodeMatrix", "DecodeImage"},
+	"internal/minijs":  {"Parse"},
+	"internal/urlx":    {"ExtractStrict", "ExtractStrictWhole", "ExtractLenient"},
+	"internal/imaging": {"DecodeCBI"},
+}
+
+// attackerPackages are the parser packages whose exported entry points
+// receive raw attacker bytes directly: inside them, every parameter of an
+// exported top-level function is treated as a taint source, which is what
+// turns the analysis loose on the parsers' own internals.
+var attackerPackages = []string{
+	"internal/mime",
+	"internal/htmlx",
+	"internal/pdfx",
+	"internal/qrcode",
+	"internal/minijs",
+	"internal/urlx",
+}
+
+// pathMatches reports whether an import path equals the suffix or ends in
+// "/"+suffix — the same matching maprange uses, so fixture packages under
+// testdata resolve the way real packages do.
+func pathMatches(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// isAttackerPackage reports whether the import path is one of the
+// attacker-facing parser packages.
+func isAttackerPackage(path string) bool {
+	for _, s := range attackerPackages {
+		if pathMatches(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// sourceFuncsFor returns the configured source functions for a package.
+func sourceFuncsFor(path string) []string {
+	for s, fns := range taintSourceFuncs {
+		if pathMatches(path, s) {
+			return fns
+		}
+	}
+	return nil
+}
+
+// isSourceFunc reports whether pkgPath.fn is a configured taint source.
+func isSourceFunc(pkgPath, fn string) bool {
+	for _, name := range sourceFuncsFor(pkgPath) {
+		if name == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// taintSet is a bitmask of taint origins: bit 0 marks source-derived bytes,
+// bit i+1 marks "flows from parameter i" (receiver = parameter 0 on
+// methods). Functions with more than 62 parameters lose precision past the
+// 62nd, which no real signature hits.
+type taintSet uint64
+
+const taintFromSource taintSet = 1
+
+func paramTaint(i int) taintSet {
+	if i < 0 || i >= 62 {
+		return 0
+	}
+	return 1 << uint(i+1)
+}
+
+func (t taintSet) fromSource() bool { return t&taintFromSource != 0 }
+
+// paramList expands the parameter bits back into indices.
+func (t taintSet) paramList() []int {
+	var out []int
+	for i := 0; i < 62; i++ {
+		if t&paramTaint(i) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// funcKey names a function in a facts table: "Func" for plain functions,
+// "Type.Method" for methods (pointer receivers collapse onto the type).
+func funcKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return fn.Name()
+	}
+	recv := sig.Recv()
+	if recv == nil {
+		return fn.Name()
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name() + "." + fn.Name()
+	}
+	return "." + fn.Name()
+}
+
+// computeTaintFacts runs the package-level fixed point: every function's
+// summary is recomputed from the current summaries (its own package's via
+// the in-progress table, dependencies' via lookup) until nothing changes.
+// Summaries only grow, so the iteration terminates; the cap is a backstop.
+func computeTaintFacts(pkg *Package, lookup func(string) *PackageFacts) map[string]*FuncFacts {
+	decls := taintableFuncs(pkg)
+	funcs := make(map[string]*FuncFacts, len(decls))
+	for key := range decls {
+		funcs[key] = &FuncFacts{}
+	}
+	for round := 0; round < 10; round++ {
+		changed := false
+		keys := make([]string, 0, len(decls))
+		//cblint:ignore maprange keys collected then sorted
+		for key := range decls {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			ta := newTaintAnalysis(pkg, decls[key], funcs, lookup, nil)
+			sum := ta.run()
+			if !equalFacts(funcs[key], sum) {
+				funcs[key] = sum
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return funcs
+}
+
+// taintableFuncs collects the package's function declarations with bodies,
+// keyed the way call sites look them up.
+func taintableFuncs(pkg *Package) map[string]*ast.FuncDecl {
+	decls := map[string]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pkg.Info == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[funcKey(obj)] = fd
+		}
+	}
+	return decls
+}
+
+// taintAnalysis is the per-function dataflow state.
+type taintAnalysis struct {
+	pkg    *Package
+	fd     *ast.FuncDecl
+	local  map[string]*FuncFacts
+	lookup func(string) *PackageFacts
+	// emit receives diagnostics during the report pass; nil during summary
+	// computation.
+	emit func(Diagnostic)
+
+	vars     map[types.Object]taintSet
+	params   map[types.Object]int
+	nresults int
+	// report marks the final pass: sinks are checked and return flows
+	// recorded only after the variable state has converged.
+	report bool
+	sum    *summaryBuilder
+	change bool
+	// emitted dedupes diagnostics: the walk evaluates expressions both via
+	// their enclosing statement and via Inspect's own descent, so the same
+	// sink can be checked more than once per pass.
+	emitted map[string]bool
+}
+
+// summaryBuilder accumulates a FuncFacts with set semantics.
+type summaryBuilder struct {
+	taintedResults map[int]bool
+	flows          map[int]map[int]bool
+	sinks          map[ParamSink]bool
+}
+
+func (b *summaryBuilder) build() *FuncFacts {
+	out := &FuncFacts{}
+	for r := range b.taintedResults {
+		out.TaintedResults = append(out.TaintedResults, r)
+	}
+	sort.Ints(out.TaintedResults)
+	pids := make([]int, 0, len(b.flows))
+	//cblint:ignore maprange keys collected then sorted
+	for p := range b.flows {
+		pids = append(pids, p)
+	}
+	sort.Ints(pids)
+	for _, p := range pids {
+		var rs []int
+		for r := range b.flows[p] {
+			rs = append(rs, r)
+		}
+		sort.Ints(rs)
+		out.Flows = append(out.Flows, ParamFlow{Param: p, Results: rs})
+	}
+	var sinks []ParamSink
+	//cblint:ignore maprange sink set collected then sorted
+	for s := range b.sinks {
+		sinks = append(sinks, s)
+	}
+	sort.Slice(sinks, func(i, j int) bool {
+		if sinks[i].Param != sinks[j].Param {
+			return sinks[i].Param < sinks[j].Param
+		}
+		return sinks[i].Sink < sinks[j].Sink
+	})
+	out.Sinks = sinks
+	return out
+}
+
+// newTaintAnalysis seeds the parameter objects. In attacker-facing parser
+// packages, parameters of exported top-level functions additionally carry
+// source taint — the bytes really are attacker-controlled there.
+func newTaintAnalysis(pkg *Package, fd *ast.FuncDecl, local map[string]*FuncFacts,
+	lookup func(string) *PackageFacts, emit func(Diagnostic)) *taintAnalysis {
+	ta := &taintAnalysis{
+		pkg: pkg, fd: fd, local: local, lookup: lookup, emit: emit,
+		vars:    map[types.Object]taintSet{},
+		params:  map[types.Object]int{},
+		emitted: map[string]bool{},
+		sum: &summaryBuilder{
+			taintedResults: map[int]bool{},
+			flows:          map[int]map[int]bool{},
+			sinks:          map[ParamSink]bool{},
+		},
+	}
+	entry := isAttackerPackage(pkg.ImportPath) && fd.Recv == nil && fd.Name.IsExported()
+	idx := 0
+	seed := func(names []*ast.Ident) {
+		for _, name := range names {
+			obj := pkg.Info.Defs[name]
+			if obj != nil {
+				ta.params[obj] = idx
+				t := paramTaint(idx)
+				if entry {
+					t |= taintFromSource
+				}
+				ta.vars[obj] = t
+			}
+			idx++
+		}
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			seed(field.Names)
+			if len(field.Names) == 0 {
+				idx++
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			seed(field.Names)
+			if len(field.Names) == 0 {
+				idx++
+			}
+		}
+	}
+	if fd.Type.Results != nil {
+		ta.nresults = fd.Type.Results.NumFields()
+	}
+	return ta
+}
+
+// run converges the variable taint state, then makes the report pass.
+func (ta *taintAnalysis) run() *FuncFacts {
+	for round := 0; round < 8; round++ {
+		ta.change = false
+		ta.walk(ta.fd.Body)
+		if !ta.change {
+			break
+		}
+	}
+	ta.report = true
+	ta.walk(ta.fd.Body)
+	return ta.sum.build()
+}
+
+// walk executes the transfer functions over every statement and, during the
+// report pass, checks sinks and records return flows.
+func (ta *taintAnalysis) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			ta.assign(node)
+		case *ast.RangeStmt:
+			ta.rangeAssign(node)
+		case *ast.ReturnStmt:
+			if ta.report {
+				ta.recordReturn(node)
+			}
+		case *ast.CallExpr:
+			// Evaluate for side effects (call-site sink checks fire during
+			// the report pass even when the result is discarded).
+			ta.eval(node)
+		case *ast.IndexExpr:
+			if ta.report {
+				ta.checkIndexSink(node)
+			}
+		case *ast.SliceExpr:
+			if ta.report {
+				ta.checkSliceSink(node)
+			}
+		}
+		return true
+	})
+}
+
+// assign applies x := e / x = e / x op= e.
+func (ta *taintAnalysis) assign(as *ast.AssignStmt) {
+	var rhs []taintSet
+	for _, r := range as.Rhs {
+		rhs = append(rhs, ta.eval(r))
+	}
+	for i, lhs := range as.Lhs {
+		var t taintSet
+		if len(as.Rhs) == len(as.Lhs) {
+			t = rhs[i]
+		} else if len(rhs) == 1 {
+			// Tuple assignment: every LHS inherits the call's taint.
+			t = rhs[0]
+		}
+		if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+			// Compound assignment keeps the old taint.
+			t |= ta.eval(lhs)
+		}
+		ta.taintExpr(lhs, t)
+	}
+}
+
+// rangeAssign taints the iteration variables: values inherit the operand's
+// taint; positional keys (slice/array/string indices) are bounded by
+// construction and stay clean, while map keys inherit taint.
+func (ta *taintAnalysis) rangeAssign(rs *ast.RangeStmt) {
+	t := ta.eval(rs.X)
+	isMap := false
+	if ta.pkg.Info != nil {
+		if tv, ok := ta.pkg.Info.Types[rs.X]; ok && tv.Type != nil {
+			_, isMap = tv.Type.Underlying().(*types.Map)
+		}
+	}
+	if rs.Key != nil {
+		if isMap {
+			ta.taintExpr(rs.Key, t)
+		} else {
+			ta.taintExpr(rs.Key, 0)
+		}
+	}
+	if rs.Value != nil {
+		ta.taintExpr(rs.Value, t)
+	}
+}
+
+// taintExpr writes taint into the root object of an assignable expression.
+// Writes through selectors and indexes taint the whole root — the analysis
+// is not field-sensitive.
+func (ta *taintAnalysis) taintExpr(lhs ast.Expr, t taintSet) {
+	obj := ta.rootObj(lhs)
+	if obj == nil {
+		return
+	}
+	if _, isParam := ta.params[obj]; !isParam {
+		// Locals can be fully overwritten by a plain ident assignment;
+		// anything else unions (coarse, monotone).
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			old := ta.vars[obj]
+			nw := old | t
+			if nw != old {
+				ta.vars[obj] = nw
+				ta.change = true
+			}
+			return
+		}
+	}
+	old := ta.vars[obj]
+	nw := old | t
+	if nw != old {
+		ta.vars[obj] = nw
+		ta.change = true
+	}
+}
+
+// rootObj peels an expression to its base identifier's object.
+func (ta *taintAnalysis) rootObj(expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if e.Name == "_" {
+				return nil
+			}
+			if obj := ta.pkg.Info.Defs[e]; obj != nil {
+				return obj
+			}
+			return ta.pkg.Info.Uses[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// eval computes an expression's taint.
+func (ta *taintAnalysis) eval(expr ast.Expr) taintSet {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if obj := ta.pkg.Info.Uses[e]; obj != nil {
+			return ta.vars[obj]
+		}
+		if obj := ta.pkg.Info.Defs[e]; obj != nil {
+			return ta.vars[obj]
+		}
+		return 0
+	case *ast.SelectorExpr:
+		// Package-qualified names have no value taint of their own; field
+		// selection inherits the owner's taint.
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := ta.pkg.Info.Uses[id].(*types.PkgName); isPkg {
+				return 0
+			}
+		}
+		return ta.eval(e.X)
+	case *ast.IndexExpr:
+		return ta.eval(e.X)
+	case *ast.SliceExpr:
+		return ta.eval(e.X)
+	case *ast.StarExpr:
+		return ta.eval(e.X)
+	case *ast.ParenExpr:
+		return ta.eval(e.X)
+	case *ast.UnaryExpr:
+		return ta.eval(e.X)
+	case *ast.TypeAssertExpr:
+		return ta.eval(e.X)
+	case *ast.BinaryExpr:
+		return ta.evalBinary(e)
+	case *ast.CallExpr:
+		return ta.callTaint(e)
+	case *ast.CompositeLit:
+		var t taintSet
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				t |= ta.eval(kv.Value)
+				continue
+			}
+			t |= ta.eval(elt)
+		}
+		return t
+	}
+	return 0
+}
+
+// evalBinary unions operand taint, with two sanitizers: comparisons yield
+// booleans (clean), and modulo / bitwise-and by an untainted bound yields a
+// bounded value (clean) — `v % len(table)` and `b & 0x0f` are the parsers'
+// idiomatic clamps.
+func (ta *taintAnalysis) evalBinary(e *ast.BinaryExpr) taintSet {
+	switch e.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ,
+		token.LAND, token.LOR:
+		return 0
+	case token.REM, token.AND:
+		if ta.eval(e.Y) == 0 {
+			return 0
+		}
+	}
+	return ta.eval(e.X) | ta.eval(e.Y)
+}
+
+// callTaint resolves a call's callee, propagates taint through its summary
+// (or conservatively through unknown callees), and — during the report pass
+// — fires call-site sink findings for summarized parameter sinks.
+func (ta *taintAnalysis) callTaint(call *ast.CallExpr) taintSet {
+	// Conversions: taint passes through; narrowing sign-changing integer
+	// conversions of tainted values are themselves a sink.
+	if tv, ok := ta.pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		t := ta.eval(call.Args[0])
+		if ta.report {
+			ta.checkConversionSink(call, t)
+		}
+		return t
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if t, handled := ta.builtinTaint(id.Name, call); handled {
+			return t
+		}
+	}
+	callee := ta.calleeFunc(call)
+	if callee == nil {
+		// Indirect call through a function value: propagate argument taint.
+		return ta.unionArgs(call, nil)
+	}
+	pkgPath := ""
+	if callee.Pkg() != nil {
+		pkgPath = callee.Pkg().Path()
+	}
+	if isSourceFunc(pkgPath, callee.Name()) && callee.Type().(*types.Signature).Recv() == nil {
+		return taintFromSource
+	}
+	if isRegexpMethod(callee) {
+		if ta.report {
+			ta.checkMustCompile(callee, call)
+		}
+		// Match positions and submatches returned by a compiled regexp are
+		// index-valid for the searched input by contract.
+		return 0
+	}
+	if ta.report {
+		ta.checkMustCompile(callee, call)
+	}
+	ff := ta.factsFor(callee, pkgPath)
+	argTaints, argExprs := ta.callArgs(call, callee)
+	if ff == nil {
+		var t taintSet
+		for _, at := range argTaints {
+			t |= at
+		}
+		return t
+	}
+	var out taintSet
+	for _, flow := range ff.Flows {
+		if flow.Param < len(argTaints) {
+			out |= argTaints[flow.Param]
+		}
+	}
+	if len(ff.TaintedResults) > 0 {
+		out |= taintFromSource
+	}
+	for _, sink := range ff.Sinks {
+		if sink.Param >= len(argTaints) || argTaints[sink.Param] == 0 {
+			continue
+		}
+		t := argTaints[sink.Param]
+		arg := argExprs[sink.Param]
+		if arg != nil && ta.guardedBefore(arg, call.Pos()) {
+			continue
+		}
+		if ta.report && t.fromSource() && arg != nil {
+			ta.emitDiag(call.Pos(), fmt.Sprintf(
+				"tainted argument %s reaches %s inside %s; add a bounds check before the call",
+				exprString(arg), sink.Sink, funcKey(callee)))
+		}
+		for _, p := range t.paramList() {
+			ta.sum.sinks[ParamSink{Param: p, Sink: sink.Sink}] = true
+		}
+	}
+	return out
+}
+
+// builtinTaint handles Go's builtin functions. len/cap are clean (bounded
+// by real data), append unions its operands, make is clean (its size
+// argument is the sink, checked separately), and min/max with any untainted
+// operand is a clamp.
+func (ta *taintAnalysis) builtinTaint(name string, call *ast.CallExpr) (taintSet, bool) {
+	if obj, ok := ta.pkg.Info.Uses[unparen(call.Fun).(*ast.Ident)]; ok {
+		if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+			return 0, false
+		}
+	}
+	switch name {
+	case "len", "cap", "new", "copy", "delete", "clear", "close", "panic",
+		"print", "println", "real", "imag", "complex", "recover":
+		return 0, true
+	case "append":
+		var t taintSet
+		for _, arg := range call.Args {
+			t |= ta.eval(arg)
+		}
+		return t, true
+	case "make":
+		if ta.report {
+			for _, arg := range call.Args[1:] {
+				ta.sinkValue(arg, call.Pos(), "make length", fmt.Sprintf(
+					"make sized by tainted length %s without a bounds check", exprString(arg)))
+			}
+		}
+		return 0, true
+	case "min", "max":
+		var t taintSet
+		for _, arg := range call.Args {
+			at := ta.eval(arg)
+			if at == 0 {
+				return 0, true // clamped by an untainted bound
+			}
+			t |= at
+		}
+		return t, true
+	}
+	return 0, false
+}
+
+// calleeFunc resolves the called function object, if any.
+func (ta *taintAnalysis) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := ta.pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := ta.pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// factsFor finds a callee's summary: same package from the in-progress
+// table, other packages through the engine.
+func (ta *taintAnalysis) factsFor(callee *types.Func, pkgPath string) *FuncFacts {
+	key := funcKey(callee)
+	if ta.pkg.Types != nil && callee.Pkg() == ta.pkg.Types {
+		return ta.local[key]
+	}
+	if ta.lookup == nil || pkgPath == "" {
+		return nil
+	}
+	pf := ta.lookup(pkgPath)
+	if pf == nil {
+		return nil
+	}
+	return pf.Funcs[key]
+}
+
+// callArgs evaluates the call's effective argument list: the receiver
+// first for method calls, then the declared arguments — matching the
+// parameter indexing funcKey summaries use.
+func (ta *taintAnalysis) callArgs(call *ast.CallExpr, callee *types.Func) ([]taintSet, []ast.Expr) {
+	var taints []taintSet
+	var exprs []ast.Expr
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			taints = append(taints, ta.eval(sel.X))
+			exprs = append(exprs, sel.X)
+		} else {
+			taints = append(taints, 0)
+			exprs = append(exprs, nil)
+		}
+	}
+	for _, arg := range call.Args {
+		taints = append(taints, ta.eval(arg))
+		exprs = append(exprs, arg)
+	}
+	return taints, exprs
+}
+
+// checkIndexSink flags tainted indexes into slices, arrays, and strings.
+// Map indexing never panics and is skipped.
+func (ta *taintAnalysis) checkIndexSink(idx *ast.IndexExpr) {
+	if !ta.indexableSink(idx.X) {
+		return
+	}
+	ta.sinkValue(idx.Index, idx.Pos(), "slice index", fmt.Sprintf(
+		"tainted index %s into %s without a bounds check",
+		exprString(idx.Index), exprString(idx.X)))
+}
+
+// checkSliceSink flags tainted slice bounds.
+func (ta *taintAnalysis) checkSliceSink(sl *ast.SliceExpr) {
+	if !ta.indexableSink(sl.X) {
+		return
+	}
+	for _, bound := range []ast.Expr{sl.Low, sl.High, sl.Max} {
+		if bound == nil {
+			continue
+		}
+		ta.sinkValue(bound, sl.Pos(), "slice bound", fmt.Sprintf(
+			"tainted slice bound %s on %s without a bounds check",
+			exprString(bound), exprString(sl.X)))
+	}
+}
+
+// sinkValue is the shared sink reporter: constant expressions are safe,
+// source taint without a lexical guard is a finding, and parameter taint
+// becomes a summary sink for call sites to inherit.
+func (ta *taintAnalysis) sinkValue(expr ast.Expr, pos token.Pos, kind, msg string) {
+	if tv, ok := ta.pkg.Info.Types[expr]; ok && tv.Value != nil {
+		return
+	}
+	t := ta.eval(expr)
+	if t == 0 {
+		return
+	}
+	guarded := ta.guardedBefore(expr, pos)
+	if t.fromSource() && !guarded {
+		ta.emitDiag(pos, msg)
+	}
+	if !guarded {
+		for _, p := range t.paramList() {
+			ta.sum.sinks[ParamSink{Param: p, Sink: kind}] = true
+		}
+	}
+}
+
+// indexableSink reports whether indexing the expression can panic: slices,
+// arrays, and strings qualify; maps and generic instantiations do not.
+func (ta *taintAnalysis) indexableSink(x ast.Expr) bool {
+	tv, ok := ta.pkg.Info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, isArray := u.Elem().Underlying().(*types.Array)
+		return isArray
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}
+
+// checkConversionSink flags the overflow-prone conversions: a tainted
+// unsigned value converted to a signed integer of no more bits — the
+// classic `int(binary.BigEndian.Uint64(hdr))` length-field bug, where a
+// huge declared length goes negative and sails through `if n > max` checks.
+func (ta *taintAnalysis) checkConversionSink(call *ast.CallExpr, t taintSet) {
+	if t == 0 {
+		return
+	}
+	target := basicOf(ta.pkg, call)
+	src := basicOf(ta.pkg, call.Args[0])
+	if target == nil || src == nil {
+		return
+	}
+	if target.Info()&types.IsInteger == 0 || src.Info()&types.IsInteger == 0 {
+		return
+	}
+	if target.Info()&types.IsUnsigned != 0 || src.Info()&types.IsUnsigned == 0 {
+		return
+	}
+	if intBits(target) > intBits(src) {
+		return
+	}
+	guarded := ta.guardedBefore(call.Args[0], call.Pos())
+	if t.fromSource() && !guarded {
+		ta.emitDiag(call.Pos(), fmt.Sprintf(
+			"unchecked integer conversion %s of tainted unsigned value may go negative; bound it first",
+			exprString(call)))
+	}
+	if !guarded {
+		for _, p := range t.paramList() {
+			ta.sum.sinks[ParamSink{Param: p, Sink: "integer conversion"}] = true
+		}
+	}
+}
+
+// checkMustCompile flags regexp.MustCompile of tainted patterns — a panic
+// an attacker-controlled string triggers directly. No guard exempts it: a
+// bounds check cannot validate a regular expression.
+func (ta *taintAnalysis) checkMustCompile(callee *types.Func, call *ast.CallExpr) {
+	if callee.Pkg() == nil || callee.Pkg().Path() != "regexp" {
+		return
+	}
+	if callee.Name() != "MustCompile" && callee.Name() != "MustCompilePOSIX" {
+		return
+	}
+	if len(call.Args) != 1 {
+		return
+	}
+	t := ta.eval(call.Args[0])
+	if t == 0 {
+		return
+	}
+	if t.fromSource() {
+		ta.emitDiag(call.Pos(), fmt.Sprintf(
+			"regexp.%s of tainted pattern %s panics on attacker-chosen input; use regexp.Compile and handle the error",
+			callee.Name(), exprString(call.Args[0])))
+	}
+	for _, p := range t.paramList() {
+		ta.sum.sinks[ParamSink{Param: p, Sink: "regexp.MustCompile pattern"}] = true
+	}
+}
+
+// isRegexpMethod reports whether the callee is a method on regexp.Regexp.
+func isRegexpMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == "Regexp" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "regexp"
+}
+
+// recordReturn folds the return values' taint into the summary.
+func (ta *taintAnalysis) recordReturn(ret *ast.ReturnStmt) {
+	results := ret.Results
+	if len(results) == 0 && ta.fd.Type.Results != nil {
+		// Bare return with named results: read the named result objects.
+		i := 0
+		for _, field := range ta.fd.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := ta.pkg.Info.Defs[name]; obj != nil {
+					ta.recordResultTaint(i, ta.vars[obj])
+				}
+				i++
+			}
+		}
+		return
+	}
+	if len(results) == 1 && ta.nresults > 1 {
+		// return f() — a tuple passthrough; apply the call taint to all.
+		t := ta.eval(results[0])
+		for i := 0; i < ta.nresults; i++ {
+			ta.recordResultTaint(i, t)
+		}
+		return
+	}
+	for i, r := range results {
+		ta.recordResultTaint(i, ta.eval(r))
+	}
+}
+
+func (ta *taintAnalysis) recordResultTaint(i int, t taintSet) {
+	if t.fromSource() {
+		ta.sum.taintedResults[i] = true
+	}
+	for _, p := range t.paramList() {
+		if ta.sum.flows[p] == nil {
+			ta.sum.flows[p] = map[int]bool{}
+		}
+		ta.sum.flows[p][i] = true
+	}
+}
+
+// guardedBefore implements the lexical guard rule: the sink value counts as
+// bounds-checked when, lexically before the sink in the same function, any
+// comparison, switch tag, or if-condition mentions any local variable the
+// sink expression is built from. This accepts the idioms the parsers use —
+// `if n > len(b) { return }`, loop conditions `i < len(s)`, `if end < 0 {
+// end = … }`, predicate guards like `if m.In(x, y)` — without attempting
+// path-sensitive analysis.
+func (ta *taintAnalysis) guardedBefore(expr ast.Expr, pos token.Pos) bool {
+	objs := ta.localRoots(expr)
+	if len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(ta.fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.BinaryExpr:
+			if node.Pos() >= pos {
+				return true
+			}
+			switch node.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				if ta.mentionsAny(node, objs) {
+					found = true
+					return false
+				}
+			}
+		case *ast.IfStmt:
+			if node.Cond != nil && node.Cond.End() <= pos && ta.mentionsAny(node.Cond, objs) {
+				found = true
+				return false
+			}
+		case *ast.SwitchStmt:
+			if node.Tag != nil && node.Pos() < pos && ta.mentionsAny(node.Tag, objs) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// localRoots collects the local variable objects an expression reads.
+func (ta *taintAnalysis) localRoots(expr ast.Expr) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := ta.pkg.Info.Uses[id]
+		if obj == nil {
+			obj = ta.pkg.Info.Defs[id]
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			objs[obj] = true
+		}
+		return true
+	})
+	return objs
+}
+
+// mentionsAny reports whether the expression references any of the objects.
+func (ta *taintAnalysis) mentionsAny(expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := ta.pkg.Info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// unionArgs is the conservative propagation for unresolvable callees.
+func (ta *taintAnalysis) unionArgs(call *ast.CallExpr, extra ast.Expr) taintSet {
+	var t taintSet
+	if extra != nil {
+		t |= ta.eval(extra)
+	}
+	for _, arg := range call.Args {
+		t |= ta.eval(arg)
+	}
+	// A method value call through a variable: taint flows from the value.
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		t |= ta.eval(sel.X)
+	}
+	return t
+}
+
+func (ta *taintAnalysis) emitDiag(pos token.Pos, msg string) {
+	if ta.emit == nil {
+		return
+	}
+	key := fmt.Sprintf("%d|%s", pos, msg)
+	if ta.emitted[key] {
+		return
+	}
+	ta.emitted[key] = true
+	ta.emit(Diagnostic{
+		Analyzer: "taintflow",
+		Pos:      ta.pkg.Fset.Position(pos),
+		Message:  msg,
+	})
+}
+
+// basicOf returns the expression's basic type, or nil.
+func basicOf(pkg *Package, expr ast.Expr) *types.Basic {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	b, _ := tv.Type.Underlying().(*types.Basic)
+	return b
+}
+
+// intBits returns the width of an integer type; platform-sized int, uint,
+// and uintptr count as 64, the pipeline's deployment target.
+func intBits(b *types.Basic) int {
+	switch b.Kind() {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	}
+	return 64
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

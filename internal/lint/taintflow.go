@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// TaintFlow flags attacker-controlled values reaching panic-prone sinks.
+// Results of the parser entry points (mime.Parse, htmlx.Parse, pdfx.Parse,
+// qrcode.DecodeMatrix/DecodeImage, minijs.Parse, urlx.Extract*) are taint
+// sources, as are the parameters of exported functions inside those parser
+// packages — the bytes arriving there come straight off the wire. A tainted
+// value used as a slice/array/string index or slice bound, a make length, a
+// narrowing unsigned-to-signed conversion, or a regexp.MustCompile pattern
+// with no guarding bounds check in the same function is a finding.
+// Propagation is interprocedural: the facts engine summarizes every
+// function's parameter-to-result flows and parameter-to-sink reaches, so a
+// call that hands tainted bytes to a function that indexes with them
+// unguarded fires at the call site.
+type TaintFlow struct{}
+
+// Name implements Analyzer.
+func (TaintFlow) Name() string { return "taintflow" }
+
+// Doc implements Analyzer.
+func (TaintFlow) Doc() string {
+	return "flag attacker-controlled parser output reaching panic-prone sinks (indexing, make, integer conversions, MustCompile) without a bounds check"
+}
+
+// Applies implements Analyzer: internal/ and cmd/ trees, like streamsafe —
+// taint does not stop at the parser boundary.
+func (TaintFlow) Applies(importPath string) bool {
+	return strings.Contains(importPath+"/", "/internal/") ||
+		strings.HasPrefix(importPath, "internal/") ||
+		strings.Contains(importPath+"/", "/cmd/") ||
+		strings.HasPrefix(importPath, "cmd/")
+}
+
+// Check implements Analyzer. The facts engine supplies dependency
+// summaries; when it is nil the analysis degrades to intra-package (callee
+// summaries from this package only).
+func (TaintFlow) Check(pkg *Package, facts *Facts) []Diagnostic {
+	if pkg.Info == nil {
+		return nil
+	}
+	var lookup func(string) *PackageFacts
+	if facts != nil {
+		facts.Record(pkg)
+		lookup = facts.For
+	}
+	// Converge the package's own summaries first (the in-progress table call
+	// sites consult), then re-run each function with emit wired up.
+	local := computeTaintFacts(pkg, lookup)
+	var diags []Diagnostic
+	decls := taintableFuncs(pkg)
+	keys := make([]string, 0, len(decls))
+	//cblint:ignore maprange keys collected then sorted
+	for key := range decls {
+		keys = append(keys, key)
+	}
+	emit := func(d Diagnostic) { diags = append(diags, d) }
+	sort.Strings(keys)
+	for _, key := range keys {
+		ta := newTaintAnalysis(pkg, decls[key], local, lookup, emit)
+		ta.run()
+	}
+	return diags
+}

@@ -1,0 +1,48 @@
+// Package hotfix is the hotalloc fixture: //cblint:hotpath functions run
+// once per corpus message, so allocations into long-lived state — appends
+// into captured slices, Sprintf in loops, identity-keyed map growth — scale
+// with the corpus and are findings.
+package hotfix
+
+import "fmt"
+
+// Msg is a per-message record carrying identity fields.
+type Msg struct {
+	ID   string
+	Host string
+}
+
+// Sink accumulates across the whole run.
+type Sink struct {
+	trail []string
+	seen  map[string]bool
+	hosts map[string]int
+}
+
+// Record is the hot path; all three rules fire.
+//
+//cblint:hotpath
+func (s *Sink) Record(m *Msg) {
+	s.trail = append(s.trail, m.Host) // want "outlives the call"
+	for i := 0; i < 4; i++ {
+		_ = fmt.Sprintf("step-%d", i) // want "allocates per iteration"
+	}
+	s.seen[m.ID] = true // want "per-message identity"
+	s.hosts[m.Host]++   // bounded-domain key: clean
+}
+
+// RecordBounded shows the compliant shape plus a sanctioned identity site.
+//
+//cblint:hotpath
+func (s *Sink) RecordBounded(m *Msg) {
+	parts := make([]string, 0, 2)
+	parts = append(parts, m.Host) // body-local slice: clean
+	s.hosts[parts[0]]++
+	//cblint:ignore hotalloc fixture sanctions a reviewed identity-keyed write
+	s.seen[m.ID] = true
+}
+
+// Cold is not annotated, so nothing in it is checked.
+func (s *Sink) Cold(m *Msg) {
+	s.trail = append(s.trail, m.ID)
+}

@@ -1,0 +1,49 @@
+// Package shardfix is the shardpure fixture: Merge must write only
+// receiver-reachable state, pin order-dependent map overwrites with a
+// comparator on existing state, and worker goroutines must not write
+// package-level variables.
+package shardfix
+
+import "crawlerbox/internal/lint/testdata/src/shardfix/shardstate"
+
+// merges is package-level mutable state; Merge must not touch it.
+var merges int
+
+// Shard is a per-worker accumulator folded by Merge.
+type Shard struct {
+	counts map[string]int
+	first  map[string]int
+	note   map[string]string
+}
+
+// New returns an empty shard.
+func New() *Shard {
+	return &Shard{counts: map[string]int{}, first: map[string]int{}, note: map[string]string{}}
+}
+
+// Merge folds o into s.
+func (s *Shard) Merge(o *Shard) {
+	merges++           // want "package-level variable"
+	shardstate.Total++ // want "not reachable from the receiver"
+	for k, v := range o.counts {
+		s.counts[k] += v // commutative accumulation: clean
+	}
+	for k, v := range o.first {
+		if j, ok := s.first[k]; !ok || v < j {
+			s.first[k] = v // pinned by the comparator above: clean
+		}
+	}
+	for k, v := range o.note {
+		s.note[k] = v // want "order-dependent overwrite"
+	}
+	//cblint:ignore shardpure fixture sanctions a reviewed last-writer-wins field
+	s.note["latest"] = o.note["latest"]
+}
+
+// Produce launches a worker that illegally publishes through a global.
+func Produce(out chan<- *Shard) {
+	go func() {
+		merges = 0 // want "worker goroutine writes package-level variable"
+		out <- New()
+	}()
+}

@@ -1,0 +1,7 @@
+// Package shardstate holds cross-package mutable state for the shardfix
+// fixture: writing it from a Merge method is a shardpure violation even
+// though it is not package-level in the merging package.
+package shardstate
+
+// Total is mutable package state no Merge may write.
+var Total int

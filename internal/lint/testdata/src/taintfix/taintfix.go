@@ -1,0 +1,72 @@
+// Package taintfix is the taintflow fixture: bytes returned by the
+// attacker-facing parsers are tainted, and letting a tainted value steer a
+// panic-prone sink without a dominating bounds check is a finding. The
+// taintlib subpackage proves the propagation crosses package boundaries
+// through the facts engine: its sink summaries are computed separately and
+// consumed here.
+package taintfix
+
+import (
+	"regexp"
+
+	"crawlerbox/internal/lint/testdata/src/taintfix/taintlib"
+	"crawlerbox/internal/mime"
+)
+
+// classTable maps class bytes to labels.
+var classTable = []byte{'a', 'b', 'c', 'd'}
+
+// Classify indexes a table by a parser-controlled byte without a check.
+func Classify(raw []byte) byte {
+	p, err := mime.Parse(raw)
+	if err != nil || len(p.Body) == 0 {
+		return 0
+	}
+	n := int(p.Body[0])
+	return classTable[n] // want "tainted index"
+}
+
+// CrossPackage drives a parser-controlled index into taintlib.At's
+// unguarded lookup; the finding lands here via taintlib's fact summary.
+func CrossPackage(raw []byte) byte {
+	p, err := mime.Parse(raw)
+	if err != nil || len(p.Body) == 0 {
+		return 0
+	}
+	n := int(p.Body[0])
+	return taintlib.At(p.Body, n) // want "reaches slice index inside"
+}
+
+// Pattern compiles attacker text as a regexp.
+func Pattern(raw []byte) *regexp.Regexp {
+	p, err := mime.Parse(raw)
+	if err != nil {
+		return nil
+	}
+	return regexp.MustCompile(string(p.Body)) // want "panics on attacker-chosen input"
+}
+
+// Guarded is clean: the lookup is dominated by a comparison on the tainted
+// index.
+func Guarded(raw []byte) byte {
+	p, err := mime.Parse(raw)
+	if err != nil || len(p.Body) == 0 {
+		return 0
+	}
+	n := int(p.Body[0])
+	if n >= len(classTable) {
+		return 0
+	}
+	return classTable[n]
+}
+
+// Sanctioned shows the suppression workflow for a reviewed site.
+func Sanctioned(raw []byte) byte {
+	p, err := mime.Parse(raw)
+	if err != nil || len(p.Body) == 0 {
+		return 0
+	}
+	n := int(p.Body[0])
+	//cblint:ignore taintflow fixture sanctions a reviewed unguarded index
+	return classTable[n]
+}

@@ -1,0 +1,9 @@
+// Package taintlib is the downstream half of the taintfix fixture: its
+// exported helper sinks its index parameter, and the facts engine carries
+// that summary back to taintfix's call sites.
+package taintlib
+
+// At returns b[i]; callers must bounds-check i.
+func At(b []byte, i int) byte {
+	return b[i]
+}

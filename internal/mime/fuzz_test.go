@@ -30,6 +30,9 @@ func FuzzParseMessage(f *testing.F) {
 	f.Add(multipart[:len(multipart)/2])
 	f.Add(bytes.Replace(multipart, []byte("boundary"), []byte("bound"), 1))
 	f.Add([]byte("Subject: bare\r\n\r\n"))
+	// Regression: a base64 body exercises the decodeTransfer clamp of the
+	// decoded length against the output buffer.
+	f.Add([]byte("Content-Transfer-Encoding: base64\r\nContent-Type: text/plain\r\n\r\nSGVs bG8s\r\nIHdvcmxkIQ==\r\n"))
 	f.Add([]byte("no headers at all"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, raw []byte) {

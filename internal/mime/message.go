@@ -230,6 +230,9 @@ func decodeTransfer(body []byte, encoding string) ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("mime: decoding base64 body: %w", err)
 		}
+		if n > len(out) {
+			n = len(out)
+		}
 		return out[:n], nil
 	case "quoted-printable":
 		out, err := io.ReadAll(quotedprintable.NewReader(bytes.NewReader(body)))

@@ -19,6 +19,12 @@ func FuzzMiniJS(f *testing.F) {
 	f.Add(`var o = {a: [1,2,3]}; o.a[1]`)
 	f.Add(`}{ not javascript ((`)
 	f.Add(``)
+	// Regression: truncated constructs whose productions consume EOF and
+	// read again — cur/next must keep returning EOF, not run off the
+	// token slice.
+	f.Add(`do { x = 1 } while`)
+	f.Add(`x =>`)
+	f.Add(`switch (a) { case`)
 	f.Fuzz(func(t *testing.T, src string) {
 		ip := New(50_000)
 		_, _ = ip.Eval(src)

@@ -25,8 +25,24 @@ type parser struct {
 	pos  int
 }
 
-func (p *parser) cur() token  { return p.toks[p.pos] }
-func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+// cur returns the current token. The lexer always terminates the stream
+// with tokEOF, but a parse path that consumes EOF (hostile input reaching a
+// production that unconditionally advances) must see EOF again rather than
+// run off the slice.
+func (p *parser) cur() token {
+	if p.pos >= len(p.toks) {
+		return token{kind: tokEOF}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.cur()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
 
 func (p *parser) at(kind tokenKind) bool { return p.cur().kind == kind }
 

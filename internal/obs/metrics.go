@@ -76,6 +76,8 @@ func (r *Registry) Inc(name string, labels ...string) {
 }
 
 // Add adds delta to a counter.
+//
+//cblint:hotpath
 func (r *Registry) Add(name string, delta float64, labels ...string) {
 	if r == nil {
 		return
@@ -105,6 +107,8 @@ func (r *Registry) Set(name string, v float64, labels ...string) {
 
 // Observe records v into a histogram (bounds from DefineBuckets, else
 // DefaultBuckets).
+//
+//cblint:hotpath
 func (r *Registry) Observe(name string, v float64, labels ...string) {
 	if r == nil {
 		return

@@ -21,6 +21,11 @@ func DecodeMatrix(m *Matrix) (*Decoded, error) {
 	if size < 21 || (size-17)%4 != 0 {
 		return nil, fmt.Errorf("qrcode: invalid matrix size %d", size)
 	}
+	// At and set guard coordinates against Size, so a Modules slice that
+	// disagrees with Size*Size would still index out of range.
+	if len(m.Modules) != size*size {
+		return nil, fmt.Errorf("qrcode: matrix has %d modules, want %d", len(m.Modules), size*size)
+	}
 	version := (size - 17) / 4
 	if version > MaxVersion {
 		return nil, fmt.Errorf("qrcode: version %d exceeds supported maximum %d", version, MaxVersion)

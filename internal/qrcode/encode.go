@@ -82,6 +82,9 @@ func (m *Matrix) At(x, y int) bool {
 }
 
 func (m *Matrix) set(x, y int, v bool) {
+	if x < 0 || x >= m.Size || y < 0 || y >= m.Size {
+		return
+	}
 	m.Modules[y*m.Size+x] = v
 }
 

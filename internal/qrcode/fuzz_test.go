@@ -1,6 +1,7 @@
 package qrcode
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -36,5 +37,25 @@ func FuzzDecodeQR(f *testing.F) {
 		if d.Corrected != 0 {
 			t.Fatalf("decoding a pristine matrix applied %d corrections", d.Corrected)
 		}
+	})
+}
+
+// FuzzDecodeMatrix hands DecodeMatrix hand-crafted matrices whose Size and
+// Modules need not agree — the shape an attacker controls when a matrix is
+// reconstructed from hostile bytes instead of produced by Encode. The
+// contract: reject with an error, never panic. The first seed is the
+// regression for the Size/Modules mismatch that once indexed out of range.
+func FuzzDecodeMatrix(f *testing.F) {
+	f.Add(21, []byte{})
+	f.Add(25, bytes.Repeat([]byte{1}, 25*25))
+	f.Add(21, bytes.Repeat([]byte{0}, 21*21-1))
+	f.Add(0, []byte{})
+	f.Add(-4, []byte{0, 1})
+	f.Fuzz(func(t *testing.T, size int, raw []byte) {
+		mods := make([]bool, len(raw))
+		for i, b := range raw {
+			mods[i] = b&1 == 1
+		}
+		_, _ = DecodeMatrix(&Matrix{Size: size, Modules: mods})
 	})
 }

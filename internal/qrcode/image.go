@@ -39,6 +39,11 @@ func Render(m *Matrix, scale, quiet int) (*imaging.Image, error) {
 // samples the module grid, and decodes it. It tolerates moderate pixel noise
 // thanks to per-module majority sampling and Reed-Solomon correction.
 func DecodeImage(img *imaging.Image) (*Decoded, error) {
+	// Reject malformed rasters up front: locate sizes its work buffers from
+	// W and H and trusts Pix to match.
+	if img == nil || img.W <= 0 || img.H <= 0 || len(img.Pix) != img.W*img.H {
+		return nil, ErrNotFound
+	}
 	loc, err := locate(img)
 	if err != nil {
 		return nil, err

@@ -289,6 +289,37 @@ func TestDecodeMatrixInvalidSize(t *testing.T) {
 	}
 }
 
+// TestDecodeMatrixShapeMismatch is the regression for the taintflow finding:
+// a matrix whose Modules slice disagrees with Size*Size must be rejected, not
+// indexed out of range.
+func TestDecodeMatrixShapeMismatch(t *testing.T) {
+	for _, m := range []*Matrix{
+		{Size: 21, Modules: nil},
+		{Size: 21, Modules: make([]bool, 21*21-1)},
+		{Size: 25, Modules: make([]bool, 21*21)},
+	} {
+		if _, err := DecodeMatrix(m); err == nil {
+			t.Errorf("size %d with %d modules should be rejected", m.Size, len(m.Modules))
+		}
+	}
+}
+
+// TestDecodeImageMalformedRaster is the regression for the taintflow finding
+// in the image path: rasters whose Pix disagrees with W*H (the shape hostile
+// CBI bytes can produce) must fail cleanly before any buffer is sized.
+func TestDecodeImageMalformedRaster(t *testing.T) {
+	for _, img := range []*imaging.Image{
+		nil,
+		{W: 40, H: 40, Pix: nil},
+		{W: -1, H: 40, Pix: make([]imaging.RGB, 1600)},
+		{W: 40, H: 40, Pix: make([]imaging.RGB, 39*40)},
+	} {
+		if _, err := DecodeImage(img); err == nil {
+			t.Errorf("malformed raster %+v should not decode", img)
+		}
+	}
+}
+
 func TestDecodeGarbageMatrixFails(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	m := &Matrix{Size: 25, Modules: make([]bool, 625)}

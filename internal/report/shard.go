@@ -83,6 +83,8 @@ func NewCensusShard() *CensusShard {
 
 // AddMessage folds one corpus message plan (the monthly series needs only
 // delivery months, so the producer folds these while streaming specs out).
+//
+//cblint:hotpath
 func (s *CensusShard) AddMessage(m *dataset.Message) {
 	if m.Month >= 0 && m.Month < 10 {
 		s.monthly[m.Month]++
@@ -92,6 +94,8 @@ func (s *CensusShard) AddMessage(m *dataset.Message) {
 // AddAnalysis folds one completed analysis at its corpus index. It must run
 // before bulky evidence (Visits) is spilled: hot-load detection and landing
 // titles read the visit records.
+//
+//cblint:hotpath
 func (s *CensusShard) AddAnalysis(idx int, ma *crawlerbox.MessageAnalysis) {
 	if ma == nil {
 		return
@@ -138,6 +142,10 @@ func (s *CensusShard) AddAnalysis(idx int, ma *crawlerbox.MessageAnalysis) {
 	if ma.Landing == nil {
 		return
 	}
+	// The distinct-URL count (Table: landing page census) is defined over
+	// full URLs; growth is bounded by the active-phish population, which the
+	// corpus spec caps well below the message count.
+	//cblint:ignore hotalloc distinct-URL census requires the full URL key; bounded by active-phish population
 	s.landingURLs[ma.Landing.URL] = true
 
 	g := s.groups[ma.Landing.Registrable]
