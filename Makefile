@@ -4,9 +4,9 @@ GO ?= go
 # benchmark so BENCH_$(PR).json carries mean/min/max per metric.
 BENCHTIME ?= 0.2s
 BENCHCOUNT ?= 5
-PR ?= 7
+PR ?= 9
 
-.PHONY: check build vet lint lint-sarif lint-test test race bench bench-scale benchquick tracecheck
+.PHONY: check build vet lint lint-sarif lint-test test race bench bench-scale benchquick tracecheck triagecheck
 
 # check is the repository's quality gate (DESIGN.md §7): compile, vet, the
 # cblint invariant linter in baseline and SARIF modes plus its own test
@@ -15,7 +15,7 @@ PR ?= 7
 # workers-1-vs-8 determinism tests and the concurrent-census test), one pass
 # of the pipeline-throughput benchmarks (serial + worker pool), and the
 # trace golden check (DESIGN.md §10).
-check: build vet lint lint-sarif lint-test test race benchquick tracecheck
+check: build vet lint lint-sarif lint-test test race benchquick tracecheck triagecheck
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,33 @@ tracecheck:
 	diff -u testdata/tracecheck.golden.jsonl $$tmp/trace.jsonl && \
 	diff -u testdata/tracecheck.golden.prom $$tmp/metrics.prom && \
 	rm -rf $$tmp && echo "tracecheck: trace and metrics match goldens"
+
+# triagecheck is the triage-index golden gate (DESIGN.md §14). It proves
+# three byte-identity contracts in one pass: (1) replaying the example
+# fault-injected corpus into a fresh -tracestore segment reproduces the
+# committed fixture store byte-for-byte; (2) compacting the fixture through
+# obsreport -compact reproduces it byte-for-byte (build-vs-compact); and
+# (3) the canned obsreport renders — stats, inverted-index queries,
+# analyst checklists, crawl-free re-adjudications — match the committed
+# golden text. Regenerate after deliberate format changes with the same
+# commands against testdata/.
+triagecheck:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/crawlerbox -n 8 -workers 4 -faults 0.1 \
+		-tracestore $$tmp/fresh.tstore > /dev/null && \
+	cmp testdata/triagecheck.store $$tmp/fresh.tstore && \
+	$(GO) run ./cmd/obsreport -compact $$tmp/compacted.tstore testdata/triagecheck.store > /dev/null && \
+	cmp testdata/triagecheck.store $$tmp/compacted.tstore && \
+	{ $(GO) run ./cmd/obsreport -store testdata/triagecheck.store -stats && \
+	  $(GO) run ./cmd/obsreport -store testdata/triagecheck.store -q "outcome=error-page errkind=network" && \
+	  $(GO) run ./cmd/obsreport -store testdata/triagecheck.store -q "domain=captcha-wall.example" && \
+	  $(GO) run ./cmd/obsreport -store testdata/triagecheck.store -q "adjudicable=false limit=3" && \
+	  $(GO) run ./cmd/obsreport -store testdata/triagecheck.store -checklist 2 && \
+	  $(GO) run ./cmd/obsreport -store testdata/triagecheck.store -checklist 6 && \
+	  $(GO) run ./cmd/obsreport -store testdata/triagecheck.store -adjudicate 1 && \
+	  $(GO) run ./cmd/obsreport -store testdata/triagecheck.store -adjudicate 4 ; } > $$tmp/triage.txt && \
+	diff -u testdata/triagecheck.golden.txt $$tmp/triage.txt && \
+	rm -rf $$tmp && echo "triagecheck: triage index, compaction, and renders match goldens"
 
 # bench runs the full bench_test.go suite with allocation reporting and
 # BENCHCOUNT repetitions, then distills the output into BENCH_$(PR).json —

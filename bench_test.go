@@ -19,6 +19,7 @@ import (
 	"crawlerbox/internal/phishkit"
 	"crawlerbox/internal/qrcode"
 	"crawlerbox/internal/report"
+	"crawlerbox/internal/tracestore"
 	"crawlerbox/internal/urlx"
 )
 
@@ -368,6 +369,106 @@ func settledHeap() uint64 {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	return ms.HeapAlloc
+}
+
+// BenchmarkTraceStoreBuild measures triage-index construction: a streamed
+// tenth-scale corpus analyzed with the trace store armed, every span tree
+// and verdict row finalized into one canonical segment. Reported alongside
+// throughput: the finalized segment's size.
+func BenchmarkTraceStoreBuild(b *testing.B) {
+	dir := b.TempDir()
+	analyzed := 0
+	var segBytes int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := dataset.Stream(dataset.Config{Seed: 42, Scale: 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("seg-%d.tstore", i))
+		w, err := tracestore.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		run, err := report.Analyze(context.Background(), c,
+			report.WithWorkers(4), report.WithTraceStore(w))
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if run.Errors != 0 {
+			b.Fatalf("%d analysis errors", run.Errors)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		segBytes = st.Size()
+		analyzed += c.Len()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(analyzed)/b.Elapsed().Seconds(), "msgs/s")
+	b.ReportMetric(float64(segBytes), "segment-bytes")
+}
+
+// BenchmarkTraceStoreQuery measures triage queries over a built segment:
+// each iteration runs the canned conjunctive queries (outcome, domain ∧
+// stage, cloak) plus one checklist render and one re-adjudication — the
+// analyst's inner loop, all served from the inverted index with no
+// pipeline or crawl.
+func BenchmarkTraceStoreQuery(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "seg.tstore")
+	c, err := dataset.Stream(dataset.Config{Seed: 42, Scale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := tracestore.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := report.Analyze(context.Background(), c,
+		report.WithWorkers(4), report.WithTraceStore(w)); err != nil {
+		b.Fatal(err)
+	}
+	st, err := tracestore.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	queries := make([]tracestore.Query, 0, 3)
+	for _, qs := range []string{
+		"outcome=active-phishing",
+		"outcome=error-page stage=classify",
+		"cloak=turnstile limit=10",
+	} {
+		q, err := tracestore.ParseQuery(qs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	adjID := st.IDs()[0]
+	b.ResetTimer()
+	matched := 0
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			verdicts, err := st.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			matched += len(verdicts)
+		}
+		if _, err := st.Checklist(adjID); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Readjudicate(adjID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(matched)/float64(b.N), "matches/op")
 }
 
 func BenchmarkAnalyzeThroughputAtN(b *testing.B) {

@@ -9,7 +9,7 @@
 //
 //	crawlerbox [-dir DIR] [-seed N] [-scale F] [-n N] [-workers N]
 //	           [-trace FILE] [-metrics FILE] [-faults F] [-retry-max N]
-//	           [-breaker-threshold N] [-evidence FILE]
+//	           [-breaker-threshold N] [-evidence FILE] [-tracestore FILE]
 //
 // -trace writes one JSONL span record per line (virtual-time timestamps,
 // byte-identical for any -workers value); -metrics writes a Prometheus text
@@ -18,7 +18,10 @@
 // circuit breakers (tune with -retry-max and -breaker-threshold).
 // -evidence spills bulky evidence (visit records, logged traffic) to an
 // append-only store instead of holding it in RAM; the printed summary
-// lines are byte-identical either way.
+// lines are byte-identical either way. -tracestore writes the triage index
+// (span trees, verdict evidence, metrics) as one canonical segment; query
+// it, render checklists, and re-adjudicate verdicts with `obsreport
+// -store FILE` or the `obsreport -serve` HTTP triage server.
 package main
 
 import (
@@ -34,7 +37,9 @@ import (
 	"crawlerbox/internal/climain"
 	"crawlerbox/internal/crawlerbox"
 	"crawlerbox/internal/dataset"
+	"crawlerbox/internal/obs"
 	"crawlerbox/internal/phishkit"
+	"crawlerbox/internal/tracestore"
 )
 
 func main() {
@@ -61,6 +66,18 @@ func run() error {
 	}
 	pipe := crawlerbox.New(corpus.Net, corpus.Registry)
 	observer := shared.Observer()
+	tstore, err := shared.TraceStoreWriter()
+	if err != nil {
+		return err
+	}
+	if tstore != nil {
+		defer tstore.Close()
+		if observer == nil {
+			// The triage index persists span trees and metrics, so it
+			// needs an observer even without -trace / -metrics.
+			observer = obs.New()
+		}
+	}
 	if observer != nil {
 		pipe.Obs = observer
 		corpus.Net.Metrics = observer.Metrics
@@ -105,11 +122,16 @@ func run() error {
 			specs[i] = crawlerbox.MessageSpec{Raw: raw, ID: int64(i + 1)}
 		}
 		for i, res := range pipe.AnalyzeCorpus(context.Background(), specs, *shared.Workers) {
-			// The summary line never reads Visits, so spilling first is safe.
+			// The summary line never reads Visits, so spilling first is safe
+			// (verdict facts survive the spill).
 			if err := crawlerbox.SpillEvidence(store, res.Analysis); err != nil {
 				return err
 			}
+			tstore.Add(tracestore.VerdictOf(int64(i+1), res.Analysis, res.Err))
 			fmt.Println(resultLine(files[i], res))
+		}
+		if err := finalizeTraceStore(tstore, observer); err != nil {
+			return err
 		}
 		return shared.WriteExports(observer)
 	}
@@ -135,10 +157,12 @@ func run() error {
 	lines := make([]string, count)
 	spillErrs := make([]error, max(*shared.Workers, 1))
 	pipe.AnalyzeStream(context.Background(), specs, *shared.Workers, func(w int, res crawlerbox.CorpusResult) {
-		// The summary line never reads Visits, so spilling first is safe.
+		// The summary line never reads Visits, so spilling first is safe
+		// (verdict facts survive the spill).
 		if err := crawlerbox.SpillEvidence(store, res.Analysis); err != nil && spillErrs[w] == nil {
 			spillErrs[w] = err
 		}
+		tstore.Add(tracestore.VerdictOf(int64(res.Index+1), res.Analysis, res.Err))
 		lines[res.Index] = resultLine(fmt.Sprintf("corpus-%05d", res.Index), res)
 	})
 	for _, err := range spillErrs {
@@ -149,7 +173,19 @@ func run() error {
 	for _, line := range lines {
 		fmt.Println(line)
 	}
+	if err := finalizeTraceStore(tstore, observer); err != nil {
+		return err
+	}
 	return shared.WriteExports(observer)
+}
+
+// finalizeTraceStore flushes the triage index: span trees and metrics from
+// the observer join the buffered verdict rows in one canonical segment.
+func finalizeTraceStore(tstore *tracestore.Writer, observer *obs.Observer) error {
+	if tstore == nil {
+		return nil
+	}
+	return tstore.Finalize(observer.Traces(), observer.Metrics.Snapshot())
 }
 
 // resultLine formats one analysis result as the tool's summary line.

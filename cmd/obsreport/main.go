@@ -1,15 +1,35 @@
-// Command obsreport renders the trace-driven triage views from a JSONL
-// trace dump produced by `crawlerbox -trace` or `report -trace`: the
-// corpus-level stage-latency table (p50/p95 in virtual nanoseconds), the
-// outcome tally, the slowest messages with their critical paths, and — for
-// one selected message — the full indented span tree (flame summary).
+// Command obsreport renders the trace-driven triage views.
+//
+// In JSONL mode it reads a trace dump produced by `crawlerbox -trace` or
+// `report -trace` and renders the corpus-level stage-latency table (p50/p95
+// in virtual nanoseconds), the outcome tally, the slowest messages with
+// their critical paths, and — for one selected message — the full indented
+// span tree. Truncated or corrupt dumps fail with a non-zero exit instead
+// of rendering a silently-partial report.
+//
+// In store mode (-store) it serves the triage index a `-tracestore` run
+// persisted: conjunctive key=value queries over the inverted index
+// (domain, outcome, errkind, stage, status, cloak, adjudicable, plus id
+// and limit), per-message analyst checklists, and verdict re-adjudication
+// from the stored evidence facts — no re-crawl, no live pipeline.
+// -serve exposes the same store over HTTP as a small triage service.
+// -compact folds one or more segments into a fresh canonical segment.
 //
 // All durations are virtual time read from each analysis's private clock
-// fork, so the report is byte-identical across runs and worker counts.
+// fork, so every view is byte-identical across runs and worker counts.
 //
 // Usage:
 //
 //	obsreport [-top K] [-msg N] trace.jsonl
+//	obsreport -store seg.tstore [-q QUERY] [-checklist ID] [-adjudicate ID] [-stats]
+//	obsreport -store seg.tstore -serve ADDR
+//	obsreport -compact out.tstore in1.tstore [in2.tstore ...]
+//
+// Example queries:
+//
+//	obsreport -store run.tstore -q "outcome=partial-evidence"
+//	obsreport -store run.tstore -q "domain=login.example stage=classify"
+//	obsreport -store run.tstore -q "cloak=turnstile limit=5"
 package main
 
 import (
@@ -17,8 +37,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"crawlerbox/internal/obs"
+	"crawlerbox/internal/tracestore"
 )
 
 func main() {
@@ -32,23 +54,58 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("obsreport", flag.ContinueOnError)
 	top := fs.Int("top", 3, "show the K slowest messages with their critical paths")
 	msg := fs.Int64("msg", 0, "render the full span tree for this trace (message) ID")
+	store := fs.String("store", "", "open a triage index segment written by -tracestore instead of a JSONL dump")
+	query := fs.String("q", "", "store mode: run a query (space-separated key=value terms) and print matching verdicts")
+	checklist := fs.Int64("checklist", 0, "store mode: render the triage checklist for this message ID")
+	adjudicate := fs.Int64("adjudicate", 0, "store mode: re-derive this message's verdict from its stored facts")
+	stats := fs.Bool("stats", false, "store mode: print segment statistics")
+	serve := fs.String("serve", "", "store mode: serve the triage API over HTTP on this address (e.g. :8080)")
+	compact := fs.Bool("compact", false, "compact segments: obsreport -compact OUT IN [IN...]")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *compact {
+		if fs.NArg() < 2 {
+			return fmt.Errorf("usage: obsreport -compact out.tstore in.tstore [in.tstore ...]")
+		}
+		if err := tracestore.Compact(fs.Arg(0), fs.Args()[1:]...); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "compacted %d segment(s) into %s\n", fs.NArg()-1, fs.Arg(0))
+		return nil
+	}
+	if *store != "" {
+		return runStore(*store, *query, *checklist, *adjudicate, *stats, *serve, w)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: obsreport [-top K] [-msg N] trace.jsonl")
 	}
-	f, err := os.Open(fs.Arg(0))
+	return runJSONL(fs.Arg(0), *top, *msg, w)
+}
+
+// runJSONL renders the legacy triage report from a trace JSONL dump,
+// refusing truncated or structurally damaged input.
+func runJSONL(path string, top int, msg int64, w io.Writer) error {
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	traces, err := obs.ReadJSONL(f)
+	if len(raw) == 0 {
+		return fmt.Errorf("%s: empty trace file", path)
+	}
+	if raw[len(raw)-1] != '\n' {
+		return fmt.Errorf("%s: truncated trace file (no trailing newline after last span record)", path)
+	}
+	traces, err := obs.ReadJSONL(strings.NewReader(string(raw)))
 	if err != nil {
-		return err
+		return fmt.Errorf("%s: corrupt trace file: %w", path, err)
 	}
 	if len(traces) == 0 {
-		return fmt.Errorf("%s: no spans", fs.Arg(0))
+		return fmt.Errorf("%s: no spans", path)
+	}
+	if err := obs.ValidateTraces(traces); err != nil {
+		return fmt.Errorf("%s: corrupt trace file: %w", path, err)
 	}
 
 	spans := 0
@@ -62,22 +119,95 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintln(w, fr)
 	}
 
-	if *top > 0 {
-		fmt.Fprintf(w, "Slowest %d messages (critical path)\n", *top)
-		for _, t := range obs.SlowestTraces(traces, *top) {
+	if top > 0 {
+		fmt.Fprintf(w, "Slowest %d messages (critical path)\n", top)
+		for _, t := range obs.SlowestTraces(traces, top) {
 			fmt.Fprintf(w, "trace %d: %s\n", t.ID(), obs.RenderCriticalPath(t))
 		}
 	}
 
-	if *msg != 0 {
+	if msg != 0 {
 		for _, t := range traces {
-			if t.ID() == *msg {
-				fmt.Fprintf(w, "\nSpan tree for message %d\n", *msg)
+			if t.ID() == msg {
+				fmt.Fprintf(w, "\nSpan tree for message %d\n", msg)
 				fmt.Fprint(w, obs.RenderTree(t))
 				return nil
 			}
 		}
-		return fmt.Errorf("trace %d not found", *msg)
+		return fmt.Errorf("trace %d not found", msg)
 	}
 	return nil
+}
+
+// runStore serves the triage-index views: query, checklist, adjudication,
+// stats, or the HTTP service.
+func runStore(path, query string, checklist, adjudicate int64, stats bool, serve string, w io.Writer) error {
+	st, err := tracestore.Open(path)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if serve != "" {
+		return serveStore(st, path, serve, w)
+	}
+	ran := false
+	if query != "" {
+		q, err := tracestore.ParseQuery(query)
+		if err != nil {
+			return err
+		}
+		verdicts, err := st.Query(q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, tracestore.RenderVerdicts(q, verdicts))
+		ran = true
+	}
+	if checklist != 0 {
+		text, err := st.Checklist(checklist)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, text)
+		ran = true
+	}
+	if adjudicate != 0 {
+		r, err := st.Readjudicate(adjudicate)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, renderAdjudication(r))
+		ran = true
+	}
+	if stats || !ran {
+		fmt.Fprint(w, tracestore.RenderStats(st.Stats()))
+	}
+	return nil
+}
+
+// renderAdjudication formats one re-adjudication result.
+func renderAdjudication(r tracestore.Readjudication) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "adjudicate — message %d\n", r.ID)
+	fmt.Fprintf(&b, "  stored : %s\n", withKind(r.StoredOutcome, r.StoredErrorKind))
+	if !r.Adjudicable {
+		fmt.Fprintf(&b, "  derived: %s (outcome fixed before classification; carried through)\n",
+			withKind(r.Outcome, r.ErrorKind))
+	} else {
+		fmt.Fprintf(&b, "  derived: %s (from stored facts, no crawl)\n", withKind(r.Outcome, r.ErrorKind))
+	}
+	match := "yes"
+	if !r.Match {
+		match = "NO — stored verdict drifted from current adjudication rules"
+	}
+	fmt.Fprintf(&b, "  match  : %s\n", match)
+	return b.String()
+}
+
+// withKind suffixes a non-"none" error kind onto an outcome.
+func withKind(outcome, kind string) string {
+	if kind != "" && kind != "none" {
+		return outcome + " (" + kind + ")"
+	}
+	return outcome
 }

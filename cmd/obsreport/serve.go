@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"crawlerbox/internal/obs"
+	"crawlerbox/internal/tracestore"
+)
+
+// serveStore runs the HTTP triage service over one open segment.
+func serveStore(st *tracestore.Store, path, addr string, w io.Writer) error {
+	fmt.Fprintf(w, "obsreport: serving triage index %s on %s\n", path, addr)
+	return http.ListenAndServe(addr, triageMux(st))
+}
+
+// triageMux builds the triage API. Split from serveStore so the endpoint
+// behavior is testable with httptest against a real segment.
+//
+// Endpoints:
+//
+//	GET /                    — text summary: stats + endpoint list
+//	GET /api/stats           — segment statistics (JSON)
+//	GET /api/query?q=...     — verdicts matching a query (JSON array)
+//	GET /api/verdict?id=N    — one verdict row (JSON)
+//	GET /api/trace?id=N      — rendered span tree (text/plain)
+//	GET /api/checklist?id=N  — triage checklist (text/plain)
+//	GET /api/adjudicate?id=N — re-adjudication from stored facts (JSON)
+func triageMux(st *tracestore.Store) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "crawlerbox triage index\n\n")
+		fmt.Fprint(w, tracestore.RenderStats(st.Stats()))
+		fmt.Fprint(w, "\nendpoints:\n"+
+			"  /api/stats\n"+
+			"  /api/query?q=outcome%3Dpartial-evidence+domain%3Dlogin.example\n"+
+			"  /api/verdict?id=N\n"+
+			"  /api/trace?id=N\n"+
+			"  /api/checklist?id=N\n"+
+			"  /api/adjudicate?id=N\n")
+	})
+	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, st.Stats())
+	})
+	mux.HandleFunc("/api/query", func(w http.ResponseWriter, r *http.Request) {
+		q, err := tracestore.ParseQuery(r.URL.Query().Get("q"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		verdicts, err := st.Query(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, verdicts)
+	})
+	mux.HandleFunc("/api/verdict", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := idParam(w, r)
+		if !ok {
+			return
+		}
+		v, err := st.Verdict(id)
+		if err != nil {
+			storeError(w, err)
+			return
+		}
+		writeJSON(w, v)
+	})
+	mux.HandleFunc("/api/trace", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := idParam(w, r)
+		if !ok {
+			return
+		}
+		t, err := st.Trace(id)
+		if err != nil {
+			storeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if t == nil {
+			fmt.Fprintf(w, "message %d: no stored trace\n", id)
+			return
+		}
+		fmt.Fprintf(w, "Span tree for message %d\n", id)
+		fmt.Fprint(w, obs.RenderTree(t))
+	})
+	mux.HandleFunc("/api/checklist", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := idParam(w, r)
+		if !ok {
+			return
+		}
+		text, err := st.Checklist(id)
+		if err != nil {
+			storeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, text)
+	})
+	mux.HandleFunc("/api/adjudicate", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := idParam(w, r)
+		if !ok {
+			return
+		}
+		adj, err := st.Readjudicate(id)
+		if err != nil {
+			storeError(w, err)
+			return
+		}
+		writeJSON(w, adj)
+	})
+	return mux
+}
+
+// idParam parses the mandatory id query parameter, writing a 400 on
+// failure.
+func idParam(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	raw := r.URL.Query().Get("id")
+	id, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || id <= 0 {
+		http.Error(w, fmt.Sprintf("bad id %q: want a positive integer", raw), http.StatusBadRequest)
+		return 0, false
+	}
+	return id, true
+}
+
+// storeError maps store lookup failures to HTTP statuses.
+func storeError(w http.ResponseWriter, err error) {
+	if strings.Contains(err.Error(), "not found") {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+// writeJSON writes v as indented JSON.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

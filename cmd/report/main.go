@@ -6,7 +6,7 @@
 //
 //	report [-seed N] [-scale F] [-workers N] [-only table1|table2|fig2|fig3|disposition|spear|nontargeted|cloaks]
 //	       [-trace FILE] [-metrics FILE] [-faults F] [-retry-max N] [-breaker-threshold N]
-//	       [-evidence FILE]
+//	       [-evidence FILE] [-tracestore FILE]
 //
 // At -scale 1.0 (the default) the corpus holds 5,181 messages and the full
 // run takes a few seconds. -workers parallelizes the per-message analysis;
@@ -82,6 +82,14 @@ func run() error {
 	if store != nil {
 		defer store.Close()
 		opts = append(opts, report.WithEvidenceStore(store))
+	}
+	tstore, err := shared.TraceStoreWriter()
+	if err != nil {
+		return err
+	}
+	if tstore != nil {
+		defer tstore.Close()
+		opts = append(opts, report.WithTraceStore(tstore))
 	}
 	run, err := report.Analyze(context.Background(), c, opts...)
 	if err != nil {

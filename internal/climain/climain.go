@@ -16,6 +16,7 @@ import (
 	"crawlerbox/internal/evstore"
 	"crawlerbox/internal/obs"
 	"crawlerbox/internal/resilience"
+	"crawlerbox/internal/tracestore"
 )
 
 // Flags holds the parsed values of the shared CLI flags. Read them after
@@ -37,6 +38,9 @@ type Flags struct {
 	// Evidence is the on-disk evidence store path (-evidence, empty = keep
 	// evidence in RAM).
 	Evidence *string
+	// TraceStore is the triage-index segment path (-tracestore, empty =
+	// off). The finalized segment is queryable with `obsreport -store`.
+	TraceStore *string
 }
 
 // Register installs the shared flags on fs with their canonical names,
@@ -52,7 +56,19 @@ func Register(fs *flag.FlagSet) *Flags {
 		BreakerThreshold: fs.Int("breaker-threshold", def.BreakerThreshold,
 			"consecutive per-host failures that open the circuit breaker when -faults is on"),
 		Evidence: fs.String("evidence", "", "spill bulky evidence (visit records, traffic) to an append-only store at FILE"),
+		TraceStore: fs.String("tracestore", "",
+			"write the triage index (span trees, verdict evidence, metrics) to FILE; query with `obsreport -store`"),
 	}
+}
+
+// TraceStoreWriter creates the triage-index writer named by -tracestore, or
+// returns nil when the flag is unset. The caller must Finalize the writer
+// (and should defer Close for the abort path).
+func (f *Flags) TraceStoreWriter() (*tracestore.Writer, error) {
+	if *f.TraceStore == "" {
+		return nil, nil
+	}
+	return tracestore.Create(*f.TraceStore)
 }
 
 // EvidenceStore creates the on-disk evidence store named by -evidence, or

@@ -264,6 +264,12 @@ type MessageAnalysis struct {
 	Brand       string
 	Landing     *LandingInfo
 	Cloaks      CloakCensus
+	// Facts are the per-visit adjudication facts distilled by the Classify
+	// stage — non-nil (possibly empty) exactly when classification ran, nil
+	// for analyses the chain halted earlier (no-resource, download). They
+	// survive evidence spilling, so Adjudicate(Facts) reproduces Outcome
+	// and ErrorKind from storage without the bulky visit records.
+	Facts []VisitFact
 	HotLoadsRef bool // page hot-loads assets from the impersonated brand
 	AnalyzedAt  time.Time
 	// Evidence addresses this analysis's spilled visit records in an
@@ -430,66 +436,150 @@ func (p *Pipeline) stages() []Stage {
 	return DefaultStages()
 }
 
-// classify derives the message outcome from the crawl results, using
-// errIsNetwork to separate dead-infrastructure errors from content-level
-// failures. When the resilience layer degraded a visit (retries exhausted
-// or breaker open) but some visit still produced a DOM, the message is
-// downgraded to OutcomePartial — measured on partial evidence — rather than
-// error or cloaked; definitive phish/interaction findings still win, since
-// the evidence that matters was gathered.
-func (p *Pipeline) classify(ma *MessageAnalysis) {
+// Evidence-fact classes: the checkable category one visit contributes to
+// adjudication. The vocabulary is part of the tracestore's on-disk format,
+// so values must stay stable across versions.
+const (
+	// FactNetError marks a visit that died at the network level.
+	FactNetError = "network-error"
+	// FactContentError marks a server that answered with a broken resource.
+	FactContentError = "content-error"
+	// FactPhishForm marks a rendered page carrying a credential form.
+	FactPhishForm = "credential-form"
+	// FactInteraction marks an unsolvable interaction gate.
+	FactInteraction = "interaction-gate"
+	// FactBenign marks a rendered page with none of the above.
+	FactBenign = "benign-content"
+)
+
+// VisitFact is the adjudication evidence distilled from one visit: the
+// checklist item an analyst ticks, and the only input Adjudicate consumes.
+// Facts are tiny and survive evidence spilling, so a stored trace can be
+// re-adjudicated without re-crawling or re-loading bulky visit records.
+type VisitFact struct {
+	// URL is the visited URL (sanitized of query and fragment, which can
+	// carry schedule-dependent tokens).
+	URL string `json:"url"`
+	// Host is the visited URL's hostname ("" for file:/// loads).
+	Host string `json:"host,omitempty"`
+	// Class is the visit's evidence class (Fact* constants).
+	Class string `json:"class"`
+	// Status is the final HTTP status (0 when no response arrived).
+	Status int `json:"status,omitempty"`
+	// HasDOM reports whether the visit produced a rendered document.
+	HasDOM bool `json:"has_dom,omitempty"`
+	// Degraded reports whether the resilience layer gave up on the visit
+	// (retries exhausted or breaker open) or the result was marked degraded.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// FactOf distills one visit record into its adjudication fact. The class
+// cases mirror the historical classify switch exactly, so Adjudicate over
+// the facts reproduces the live classification byte-for-byte.
+func FactOf(v *VisitRecord) VisitFact {
+	f := VisitFact{
+		URL:      obs.SanitizeURL(v.URL),
+		Degraded: errIsDegraded(v.Err) || (v.Result != nil && v.Result.Degraded),
+		HasDOM:   v.Result != nil && v.Result.DOM != nil,
+	}
+	if u, err := neturl.Parse(v.URL); err == nil {
+		f.Host = u.Hostname()
+	}
+	if v.Result != nil {
+		f.Status = v.Result.Status
+	}
+	switch {
+	case v.Err != nil && errIsNetwork(v.Err):
+		f.Class = FactNetError
+	case v.Err != nil || v.Result == nil || v.Result.DOM == nil:
+		f.Class = FactContentError
+	case v.Result.Status >= 400:
+		f.Class = FactContentError
+	case hasPhishForm(v.Result):
+		f.Class = FactPhishForm
+	case pageRequiresInteraction(v.Result.DOM):
+		f.Class = FactInteraction
+	default:
+		f.Class = FactBenign
+	}
+	return f
+}
+
+// Adjudicate derives a message outcome from stored visit facts alone — the
+// pure core of the Classify stage, shared by the live pipeline and the
+// tracestore's re-adjudication path so the two can never drift. Definitive
+// phish/interaction findings win; a degraded analysis that still gathered a
+// DOM lands in partial-evidence; error kinds split network-dead from
+// content-broken. No facts at all (nothing was crawled, yet classification
+// ran) is an error disposition, matching the live pipeline.
+func Adjudicate(facts []VisitFact) (Outcome, ErrorKind) {
 	var sawPhish, sawInteraction, sawBenign bool
 	var sawNetError, sawContentError bool
 	var sawDegraded, hasEvidence bool
-	var phishVisit *VisitRecord
-	for i := range ma.Visits {
-		v := &ma.Visits[i]
-		if errIsDegraded(v.Err) || (v.Result != nil && v.Result.Degraded) {
+	for i := range facts {
+		f := &facts[i]
+		if f.Degraded {
 			sawDegraded = true
 		}
-		if v.Result != nil && v.Result.DOM != nil {
+		if f.HasDOM {
 			hasEvidence = true
 		}
-		switch {
-		case v.Err != nil && errIsNetwork(v.Err):
+		switch f.Class {
+		case FactNetError:
 			sawNetError = true
-		case v.Err != nil || v.Result == nil || v.Result.DOM == nil:
+		case FactContentError:
 			sawContentError = true
-		case v.Result.Status >= 400:
-			sawContentError = true
-		case hasPhishForm(v.Result):
+		case FactPhishForm:
 			sawPhish = true
-			if phishVisit == nil {
-				phishVisit = v
-			}
-		case pageRequiresInteraction(v.Result.DOM):
+		case FactInteraction:
 			sawInteraction = true
 		default:
 			sawBenign = true
 		}
 	}
 	sawError := sawNetError || sawContentError
+	var outcome Outcome
 	switch {
 	case sawPhish:
-		ma.Outcome = OutcomeActivePhish
-		p.classifySpearPhish(ma, phishVisit)
+		outcome = OutcomeActivePhish
 	case sawInteraction:
-		ma.Outcome = OutcomeInteraction
+		outcome = OutcomeInteraction
 	case sawDegraded && hasEvidence:
-		ma.Outcome = OutcomePartial
+		outcome = OutcomePartial
 	case sawError && !sawBenign:
-		ma.Outcome = OutcomeError
+		outcome = OutcomeError
 	case sawBenign:
-		ma.Outcome = OutcomeCloaked
+		outcome = OutcomeCloaked
 	default:
-		ma.Outcome = OutcomeError
+		outcome = OutcomeError
 	}
-	if ma.Outcome == OutcomeError {
+	if outcome == OutcomeError {
 		if sawNetError && !sawContentError {
-			ma.ErrorKind = ErrorNetwork
-		} else {
-			ma.ErrorKind = ErrorContent
+			return outcome, ErrorNetwork
 		}
+		return outcome, ErrorContent
+	}
+	return outcome, ErrorNone
+}
+
+// classify distills each visit into its adjudication fact, derives the
+// outcome through the pure Adjudicate core, and runs the spear-phishing
+// screenshot match (the one classification step that needs live evidence
+// rather than facts). The facts are retained on the analysis — they are the
+// verdict evidence the tracestore persists and re-adjudicates from.
+func (p *Pipeline) classify(ma *MessageAnalysis) {
+	facts := make([]VisitFact, len(ma.Visits))
+	var phishVisit *VisitRecord
+	for i := range ma.Visits {
+		facts[i] = FactOf(&ma.Visits[i])
+		if facts[i].Class == FactPhishForm && phishVisit == nil {
+			phishVisit = &ma.Visits[i]
+		}
+	}
+	ma.Facts = facts
+	ma.Outcome, ma.ErrorKind = Adjudicate(facts)
+	if ma.Outcome == OutcomeActivePhish {
+		p.classifySpearPhish(ma, phishVisit)
 	}
 }
 

@@ -66,6 +66,18 @@ const (
 	KindAnalysis Kind = 1
 	// KindExchange is a spilled network exchange (webnet traffic spill).
 	KindExchange Kind = 2
+	// KindSpanBatch is one message's span tree, stored by the tracestore
+	// triage index as trace JSONL (obs.WriteJSONL for a single trace).
+	KindSpanBatch Kind = 3
+	// KindVerdict is one message's verdict row: outcome, landing domain,
+	// cloak flags, and the per-visit evidence facts the tracestore
+	// re-adjudicates from (tracestore.Verdict as JSON).
+	KindVerdict Kind = 4
+	// KindMetrics is a run's metrics snapshot ([]obs.Point as JSON).
+	KindMetrics Kind = 5
+	// KindTraceIndex is the tracestore's inverted index over its verdict
+	// and span records; always the final record of a finalized segment.
+	KindTraceIndex Kind = 6
 )
 
 // Handle addresses one record. The zero Handle is invalid (the first

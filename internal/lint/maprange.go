@@ -26,6 +26,7 @@ var mapRangeScope = []string{
 	"internal/obs",
 	"internal/report",
 	"internal/stats",
+	"internal/tracestore",
 	"internal/urlx",
 	"internal/webnet",
 	"internal/whois",

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -66,6 +67,16 @@ func TestRegistryMergeMatchesDirect(t *testing.T) {
 	}
 }
 
+// droppedCount reads the merge-drop counter for one reason label.
+func droppedCount(r *Registry, reason string) float64 {
+	for _, p := range r.Snapshot() {
+		if p.Name == MergeDroppedMetric && len(p.Labels) == 1 && p.Labels[0].Value == reason {
+			return p.Value
+		}
+	}
+	return 0
+}
+
 func TestRegistryMergeConflictsAndNil(t *testing.T) {
 	r := NewRegistry()
 	r.Inc("m")
@@ -74,17 +85,59 @@ func TestRegistryMergeConflictsAndNil(t *testing.T) {
 	other.DefineBuckets("h", []float64{1, 2})
 	other.Observe("h", 1.5)
 	r.Observe("h", 1.5) // default buckets: layout conflict with other's
-	before := promDump(t, r)
 	r.Merge(other)
-	after := promDump(t, r)
-	if before != after {
-		t.Errorf("conflicting series mutated the registry:\n--- before ---\n%s--- after ---\n%s", before, after)
+
+	// The conflicting series are skipped, not merged: the counter keeps
+	// its value and the histogram its original bucket layout.
+	for _, p := range r.Snapshot() {
+		switch {
+		case p.Name == "m" && (p.Type != typeCounter || p.Value != 1):
+			t.Errorf("type-conflicted series mutated: %+v", p)
+		case p.Name == "h" && len(p.Counts) != len(DefaultBuckets)+1:
+			t.Errorf("bucket-conflicted series mutated: %+v", p)
+		}
+	}
+	// ...and each skip is itself observed (satellite self-observability):
+	// one type-conflict drop, one bucket-conflict drop.
+	if got := droppedCount(r, "type-conflict"); got != 1 {
+		t.Errorf("type-conflict drops = %v, want 1", got)
+	}
+	if got := droppedCount(r, "bucket-conflict"); got != 1 {
+		t.Errorf("bucket-conflict drops = %v, want 1", got)
 	}
 
+	after := promDump(t, r)
 	r.Merge(nil)
 	var nilReg *Registry
 	nilReg.Merge(r) // must not panic
 	if promDump(t, r) != after {
 		t.Error("nil merges mutated the registry")
+	}
+}
+
+// TestMergeDroppedCounterAccumulates pins that repeated conflicting merges
+// keep counting — the counter is a plain commutative series, visible in
+// snapshots and Prometheus dumps like any other metric.
+func TestMergeDroppedCounterAccumulates(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("m")
+	other := NewRegistry()
+	other.Set("m", 5)
+	for i := 0; i < 3; i++ {
+		r.Merge(other)
+	}
+	if got := droppedCount(r, "type-conflict"); got != 3 {
+		t.Errorf("drops after 3 conflicting merges = %v, want 3", got)
+	}
+	// A clean merge of the dropped counter itself folds like any counter.
+	agg := NewRegistry()
+	agg.Merge(r)
+	agg.Merge(r)
+	if got := droppedCount(agg, "type-conflict"); got != 6 {
+		t.Errorf("aggregated drops = %v, want 6", got)
+	}
+	dump := promDump(t, agg)
+	if !strings.Contains(dump, MergeDroppedMetric+`{reason="type-conflict"} 6`) {
+		t.Errorf("dropped counter missing from Prometheus dump:\n%s", dump)
 	}
 }

@@ -176,6 +176,13 @@ func seriesKey(name string, attrs []Attr) string {
 	return key
 }
 
+// MergeDroppedMetric counts series a Merge/MergePoints fold had to skip
+// because their type or histogram bucket layout conflicted with an existing
+// series. The "reason" label distinguishes type-conflict from
+// bucket-conflict. A clean deployment never populates it, so its presence
+// in an export is itself the alert.
+const MergeDroppedMetric = "obs_merge_dropped_total"
+
 // Merge folds another registry's series into r: counter values add,
 // histograms add their sums and per-bucket counts (r adopts the source's
 // bounds when it has never observed the metric), and gauges overwrite —
@@ -184,25 +191,36 @@ func seriesKey(name string, attrs []Attr) string {
 // order export identical snapshots; gauge order only matters when
 // schedules set different values, which the Set contract already forbids.
 // A series whose type or bucket layout conflicts with an existing one is
-// skipped, matching how the write methods reject type mismatches. Merging
-// a nil source, or into a nil registry, is a no-op.
+// skipped — and the skip is itself counted in MergeDroppedMetric, so a
+// misconfigured fleet shows up in its own exports instead of silently
+// losing data. Merging a nil source, or into a nil registry, is a no-op.
 func (r *Registry) Merge(o *Registry) {
 	if r == nil || o == nil {
 		return
 	}
-	points := o.Snapshot()
+	r.MergePoints(o.Snapshot())
+}
+
+// MergePoints folds a point snapshot into r under the same contract as
+// Merge. It is the restore path for snapshots that crossed a serialization
+// boundary (the tracestore's KindMetrics records) as well as Merge's core.
+func (r *Registry) MergePoints(points []Point) {
+	if r == nil {
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, p := range points {
 		key := seriesKey(p.Name, p.Labels)
-		//cblint:ignore guarded Merge holds r.mu across the whole fold
+		//cblint:ignore guarded MergePoints holds r.mu across the whole fold
 		s := r.series[key]
 		if s == nil {
 			s = &series{name: p.Name, labels: p.Labels, typ: p.Type}
-			//cblint:ignore guarded Merge holds r.mu across the whole fold
+			//cblint:ignore guarded MergePoints holds r.mu across the whole fold
 			r.series[key] = s
 		}
 		if s.typ != p.Type {
+			r.countDroppedLocked("type-conflict")
 			continue
 		}
 		switch p.Type {
@@ -219,6 +237,7 @@ func (r *Registry) Merge(o *Registry) {
 				s.counts = make([]uint64, len(p.Counts))
 			}
 			if len(s.counts) != len(p.Counts) {
+				r.countDroppedLocked("bucket-conflict")
 				continue
 			}
 			for i, c := range p.Counts {
@@ -226,6 +245,24 @@ func (r *Registry) Merge(o *Registry) {
 			}
 			s.sum += p.Sum
 		}
+	}
+}
+
+// countDroppedLocked bumps the merge-drop self-observability counter.
+// Callers hold r.mu, so it writes the series directly instead of going
+// through Add (which would deadlock on the non-reentrant mutex).
+func (r *Registry) countDroppedLocked(reason string) {
+	attrs := []Attr{{Key: "reason", Value: reason}}
+	key := seriesKey(MergeDroppedMetric, attrs)
+	//cblint:ignore guarded every caller (MergePoints) holds r.mu
+	s := r.series[key]
+	if s == nil {
+		s = &series{name: MergeDroppedMetric, labels: attrs, typ: typeCounter}
+		//cblint:ignore guarded every caller (MergePoints) holds r.mu
+		r.series[key] = s
+	}
+	if s.typ == typeCounter {
+		s.value++
 	}
 }
 

@@ -189,3 +189,39 @@ func ReadJSONL(r io.Reader) ([]*Trace, error) {
 func unixNano(ns int64) time.Time {
 	return time.Unix(0, ns).UTC()
 }
+
+// ValidateTraces checks structural integrity of parsed traces: every trace
+// must have exactly one root span, every parent link must resolve to a span
+// in the same trace, and no span may end before it starts (virtual clocks
+// are monotonic, so a negative extent can only come from truncated or
+// hand-damaged input). Renderers call it before trusting a JSONL dump so a
+// partial write fails loudly instead of producing a silently-partial report.
+func ValidateTraces(traces []*Trace) error {
+	for _, t := range traces {
+		spans := t.Spans()
+		ids := make(map[int]bool, len(spans))
+		roots := 0
+		for _, s := range spans {
+			if ids[s.ID] {
+				return fmt.Errorf("obs: trace %d: duplicate span id %d", t.ID(), s.ID)
+			}
+			ids[s.ID] = true
+			if s.Parent == 0 {
+				roots++
+			}
+			if s.EndTime.Before(s.StartTime) {
+				return fmt.Errorf("obs: trace %d: span %d ends before it starts", t.ID(), s.ID)
+			}
+		}
+		if roots != 1 {
+			return fmt.Errorf("obs: trace %d: %d root spans, want exactly 1 (truncated trace?)", t.ID(), roots)
+		}
+		for _, s := range spans {
+			if s.Parent != 0 && !ids[s.Parent] {
+				return fmt.Errorf("obs: trace %d: span %d references missing parent %d (truncated trace?)",
+					t.ID(), s.ID, s.Parent)
+			}
+		}
+	}
+	return nil
+}

@@ -31,6 +31,7 @@ import (
 	"crawlerbox/internal/obs"
 	"crawlerbox/internal/resilience"
 	"crawlerbox/internal/stats"
+	"crawlerbox/internal/tracestore"
 	"crawlerbox/internal/urlx"
 	"crawlerbox/internal/webnet"
 )
@@ -63,6 +64,7 @@ type options struct {
 	observer   *obs.Observer
 	resilience *resilience.Policy
 	evidence   *evstore.Store
+	tracestore *tracestore.Writer
 }
 
 // Option configures one aspect of an Analyze run.
@@ -106,6 +108,19 @@ func WithEvidenceStore(s *evstore.Store) Option {
 	return func(o *options) { o.evidence = s }
 }
 
+// WithTraceStore persists the run's triage index: each message's verdict
+// row (outcome, domains, cloak flags, and the visit facts the Classify
+// stage adjudicated from) plus its span tree land in the writer, which
+// Analyze finalizes into a queryable segment — the store cmd/obsreport
+// serves queries, checklists, and crawl-free re-adjudication from. Implies
+// observability: when no WithObserver is given, Analyze creates an internal
+// observer so span trees and metrics exist to persist. The segment bytes
+// are canonical — identical for every worker count. A nil writer disables
+// the store (the default).
+func WithTraceStore(w *tracestore.Writer) Option {
+	return func(o *options) { o.tracestore = w }
+}
+
 // Analyze runs the pipeline over the corpus and aggregates the Run. Each
 // message is analyzed at its delivery time plus the paper's two-hour
 // reporting lag, on a private fork of the virtual clock, with a seed stream
@@ -134,6 +149,11 @@ func Analyze(ctx context.Context, c *dataset.Corpus, opts ...Option) (*Run, erro
 		workers = 1
 	}
 	pipe := crawlerbox.New(c.Net, c.Registry)
+	if op.tracestore != nil && op.observer == nil {
+		// The trace store persists span trees and metrics, so it needs an
+		// observer even when the caller didn't ask for live exports.
+		op.observer = obs.New()
+	}
 	if op.observer != nil {
 		pipe.Obs = op.observer
 		c.Net.Metrics = op.observer.Metrics
@@ -190,9 +210,13 @@ func Analyze(ctx context.Context, c *dataset.Corpus, opts ...Option) (*Run, erro
 	pipe.AnalyzeStream(ctx, specs, workers, func(w int, res crawlerbox.CorpusResult) {
 		if res.Err != nil {
 			errCounts[w]++
+			op.tracestore.Add(tracestore.VerdictOf(int64(res.Index+1), nil, res.Err))
 			return
 		}
 		shards[w].AddAnalysis(res.Index, res.Analysis)
+		// Verdict rows are buffered in completion order and sorted by trace
+		// ID at Finalize, so the segment stays schedule-independent.
+		op.tracestore.Add(tracestore.VerdictOf(int64(res.Index+1), res.Analysis, nil))
 		if op.evidence != nil {
 			// Spill AFTER the shard fold: hot-load detection and landing
 			// titles read the visit records the spill strips.
@@ -231,6 +255,11 @@ func Analyze(ctx context.Context, c *dataset.Corpus, opts ...Option) (*Run, erro
 	run.shard = msgShard
 	if retain {
 		run.Analyses = analyses
+	}
+	if op.tracestore != nil {
+		if err := op.tracestore.Finalize(op.observer.Traces(), op.observer.Metrics.Snapshot()); err != nil {
+			return nil, fmt.Errorf("report: trace store: %w", err)
+		}
 	}
 	return run, nil
 }

@@ -1,0 +1,236 @@
+package tracestore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"crawlerbox/internal/crawlerbox"
+	"crawlerbox/internal/obs"
+)
+
+// Checklist renders one message's triage checklist: the stored verdict,
+// the stage spans with statuses and virtual timings, the per-visit
+// evidence facts, and the adjudication rules with the branch each fact
+// activated — ending with the re-adjudicated outcome so an analyst sees
+// at a glance whether the stored verdict still follows from the stored
+// evidence. Output is deterministic (virtual timings, sorted lists).
+func (s *Store) Checklist(id int64) (string, error) {
+	v, err := s.Verdict(id)
+	if err != nil {
+		return "", err
+	}
+	t, err := s.Trace(id)
+	if err != nil {
+		return "", err
+	}
+	return RenderChecklist(v, t), nil
+}
+
+// RenderChecklist renders the checklist for a verdict row and its
+// (possibly nil) trace.
+func RenderChecklist(v Verdict, t *obs.Trace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "checklist — message %d\n", v.ID)
+	fmt.Fprintf(&b, "  stored verdict : %s\n", v.Outcome)
+	if v.ErrorKind != "" && v.ErrorKind != "none" {
+		fmt.Fprintf(&b, "  error kind     : %s\n", v.ErrorKind)
+	}
+	if v.Domain != "" {
+		fmt.Fprintf(&b, "  domain         : %s\n", v.Domain)
+	}
+	if len(v.Hosts) > 1 {
+		fmt.Fprintf(&b, "  hosts          : %s\n", strings.Join(v.Hosts, ", "))
+	}
+	if len(v.Cloaks) > 0 {
+		fmt.Fprintf(&b, "  cloaks         : %s\n", strings.Join(v.Cloaks, ", "))
+	}
+	if v.SpearBrand != "" {
+		fmt.Fprintf(&b, "  spear brand    : %s\n", v.SpearBrand)
+	}
+	if v.Err != "" {
+		fmt.Fprintf(&b, "  analysis error : %s\n", v.Err)
+	}
+	if v.Spans > 0 {
+		fmt.Fprintf(&b, "  trace          : %d spans over %s\n",
+			v.Spans, time.Duration(v.DurationNS))
+	}
+	renderStageEvidence(&b, t)
+	renderVisitEvidence(&b, v.Facts)
+	renderAdjudication(&b, v)
+	return b.String()
+}
+
+// renderStageEvidence lists the trace's stage spans in execution order
+// with status checkboxes and virtual durations.
+func renderStageEvidence(b *strings.Builder, t *obs.Trace) {
+	if t == nil {
+		return
+	}
+	var rows []string
+	for _, s := range t.Spans() {
+		if s.Kind != obs.SpanStage {
+			continue
+		}
+		mark := "[x]"
+		if s.Status != obs.StatusOK {
+			mark = "[!]"
+		}
+		rows = append(rows, fmt.Sprintf("    %s %s\t%s\t%s", mark, s.Name, s.Status, s.Duration()))
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "  stage evidence:\n")
+	tw := tabwriter.NewWriter(b, 2, 0, 2, ' ', 0)
+	for _, r := range rows {
+		fmt.Fprintln(tw, r)
+	}
+	tw.Flush()
+}
+
+// renderVisitEvidence lists the stored per-visit facts.
+func renderVisitEvidence(b *strings.Builder, facts []crawlerbox.VisitFact) {
+	if len(facts) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "  visit evidence:\n")
+	tw := tabwriter.NewWriter(b, 2, 0, 2, ' ', 0)
+	for i := range facts {
+		f := &facts[i]
+		status := "-"
+		if f.Status != 0 {
+			status = fmt.Sprintf("%d", f.Status)
+		}
+		flags := make([]string, 0, 2)
+		if f.HasDOM {
+			flags = append(flags, "dom")
+		}
+		if f.Degraded {
+			flags = append(flags, "degraded")
+		}
+		flagStr := "-"
+		if len(flags) > 0 {
+			flagStr = strings.Join(flags, ",")
+		}
+		fmt.Fprintf(tw, "    [%d] %s\t%s\t%s\t%s\n", i+1, f.Class, status, flagStr, f.URL)
+	}
+	tw.Flush()
+}
+
+// adjudicationRule is one row of the rule checklist: the observation, the
+// outcome it implies, and whether the stored facts activate it.
+type adjudicationRule struct {
+	observed bool
+	label    string
+	implies  string
+}
+
+// renderAdjudication renders the rule checklist in priority order and the
+// re-adjudicated outcome.
+func renderAdjudication(b *strings.Builder, v Verdict) {
+	if !v.Adjudicable {
+		fmt.Fprintf(b, "  adjudication   : outcome fixed before classification; stored verdict stands\n")
+		return
+	}
+	var sawPhish, sawInteraction, sawBenign, sawNetError, sawContentError, sawDegraded, hasEvidence bool
+	for i := range v.Facts {
+		f := &v.Facts[i]
+		sawDegraded = sawDegraded || f.Degraded
+		hasEvidence = hasEvidence || f.HasDOM
+		switch f.Class {
+		case crawlerbox.FactNetError:
+			sawNetError = true
+		case crawlerbox.FactContentError:
+			sawContentError = true
+		case crawlerbox.FactPhishForm:
+			sawPhish = true
+		case crawlerbox.FactInteraction:
+			sawInteraction = true
+		default:
+			sawBenign = true
+		}
+	}
+	sawError := sawNetError || sawContentError
+	rules := []adjudicationRule{
+		{sawPhish, "credential form observed", "active-phishing"},
+		{sawInteraction, "interaction gate observed", "interaction-required"},
+		{sawDegraded && hasEvidence, "degraded visit with retained DOM", "partial-evidence"},
+		{sawError && !sawBenign, "errors without a benign render", "error-page"},
+		{sawBenign, "benign content only", "cloaked-benign"},
+	}
+	fmt.Fprintf(b, "  adjudication (stored facts, no crawl; first checked rule wins):\n")
+	tw := tabwriter.NewWriter(b, 2, 0, 2, ' ', 0)
+	for _, r := range rules {
+		mark := "[ ]"
+		if r.observed {
+			mark = "[x]"
+		}
+		fmt.Fprintf(tw, "    %s %s\t-> %s\n", mark, r.label, r.implies)
+	}
+	tw.Flush()
+	r := ReadjudicateVerdict(v)
+	verdictStr := r.Outcome
+	if r.ErrorKind != "" && r.ErrorKind != "none" {
+		verdictStr += " (" + r.ErrorKind + ")"
+	}
+	agreement := "MATCHES stored verdict"
+	if !r.Match {
+		agreement = fmt.Sprintf("DRIFTED from stored verdict %s", r.StoredOutcome)
+	}
+	fmt.Fprintf(b, "    re-adjudicated: %s — %s\n", verdictStr, agreement)
+}
+
+// RenderVerdicts renders query results as the triage table obsreport
+// prints: one row per verdict, ascending trace ID.
+func RenderVerdicts(q Query, verdicts []Verdict) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\n", q)
+	fmt.Fprintf(&b, "%d match(es)\n", len(verdicts))
+	if len(verdicts) == 0 {
+		return b.String()
+	}
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "  id\toutcome\terr-kind\tdomain\tadjudicable\tcloaks\n")
+	for i := range verdicts {
+		v := &verdicts[i]
+		fmt.Fprintf(tw, "  %d\t%s\t%s\t%s\t%s\t%s\n",
+			v.ID, v.Outcome, orDash(v.ErrorKind), orDash(v.Domain),
+			yesNo(v.Adjudicable), orDash(strings.Join(v.Cloaks, ",")))
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// RenderStats renders segment stats for the CLI and the / endpoint.
+func RenderStats(st Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "traces: %d (%d adjudicable)\n", st.Traces, st.Adjudicable)
+	fmt.Fprintf(&b, "domains indexed: %d, index entries: %d, segment bytes: %d\n",
+		st.Domains, st.IndexEntries, st.Bytes)
+	outcomes := make([]string, 0, len(st.Outcomes))
+	for o := range st.Outcomes {
+		outcomes = append(outcomes, o)
+	}
+	sort.Strings(outcomes)
+	for _, o := range outcomes {
+		fmt.Fprintf(&b, "  %-22s %d\n", o, st.Outcomes[o])
+	}
+	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,81 @@
+package tracestore
+
+import (
+	"fmt"
+	"sort"
+
+	"crawlerbox/internal/evstore"
+	"crawlerbox/internal/obs"
+)
+
+// Compact folds one or more finalized segments into a fresh segment at
+// dst. Per trace ID the last source wins (so compacting a base segment
+// with a re-run overlay keeps the re-run's rows); span payloads are copied
+// byte-for-byte, verdict rows re-encode through the same canonical codec
+// Finalize uses, metrics snapshots fold through Registry.MergePoints, and
+// the index is rebuilt from the surviving verdicts. Because Finalize and
+// Compact share writeMessage/writeFooter, compacting a single finalized
+// segment reproduces its bytes exactly — the determinism contract the
+// build-vs-compact test pins.
+func Compact(dst string, srcs ...string) error {
+	if len(srcs) == 0 {
+		return fmt.Errorf("tracestore: compact needs at least one source segment")
+	}
+	type entry struct {
+		spans   []byte
+		verdict Verdict
+	}
+	byID := map[int64]entry{}
+	reg := obs.NewRegistry()
+	for _, src := range srcs {
+		st, err := Open(src)
+		if err != nil {
+			return err
+		}
+		for _, id := range st.IDs() {
+			v, err := st.Verdict(id)
+			if err != nil {
+				st.Close()
+				return err
+			}
+			spans, err := st.rawSpans(id)
+			if err != nil {
+				st.Close()
+				return err
+			}
+			byID[id] = entry{spans: spans, verdict: v}
+		}
+		points, err := st.Metrics()
+		if err != nil {
+			st.Close()
+			return err
+		}
+		reg.MergePoints(points)
+		if err := st.Close(); err != nil {
+			return err
+		}
+	}
+	ids := make([]int64, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	ev, err := evstore.Create(dst)
+	if err != nil {
+		return err
+	}
+	idx := newSegIndex()
+	for _, id := range ids {
+		e := byID[id]
+		if err := writeMessage(ev, idx, &e.verdict, e.spans); err != nil {
+			ev.Close()
+			return err
+		}
+	}
+	if err := writeFooter(ev, idx, reg.Snapshot()); err != nil {
+		ev.Close()
+		return err
+	}
+	return ev.Close()
+}

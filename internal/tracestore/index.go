@@ -1,0 +1,118 @@
+package tracestore
+
+import (
+	"crawlerbox/internal/evstore"
+)
+
+// RecordRef is the JSON form of an evstore.Handle inside the index payload.
+type RecordRef struct {
+	Off int64  `json:"off"`
+	Len uint32 `json:"len"`
+}
+
+// handle converts back to an evstore handle.
+func (r RecordRef) handle() evstore.Handle { return evstore.Handle{Offset: r.Off, Len: r.Len} }
+
+func refOf(h evstore.Handle) RecordRef { return RecordRef{Off: h.Offset, Len: h.Len} }
+
+// TraceLoc locates one message's records inside the segment.
+type TraceLoc struct {
+	ID      int64     `json:"id"`
+	Spans   RecordRef `json:"spans"`
+	Verdict RecordRef `json:"verdict"`
+}
+
+// segIndex is the KindTraceIndex payload: record locations per trace plus
+// an inverted index from "dimension=value" keys to sorted trace-ID posting
+// lists. encoding/json emits map keys sorted and the builder appends IDs in
+// ascending order, so the marshaled payload is canonical.
+type segIndex struct {
+	Version  int                `json:"version"`
+	Traces   []TraceLoc         `json:"traces"`
+	Postings map[string][]int64 `json:"postings,omitempty"`
+}
+
+func newSegIndex() *segIndex {
+	return &segIndex{Version: Version, Postings: map[string][]int64{}}
+}
+
+// Indexed dimensions. Every key in a query term must be one of these (or
+// the pseudo-keys id / limit handled by the query planner).
+const (
+	dimDomain      = "domain"
+	dimOutcome     = "outcome"
+	dimErrKind     = "errkind"
+	dimStage       = "stage"
+	dimStatus      = "status"
+	dimCloak       = "cloak"
+	dimAdjudicable = "adjudicable"
+)
+
+// add registers one verdict's records and posting entries. Callers add
+// verdicts in ascending ID order, so posting lists stay sorted without a
+// final sort pass.
+func (x *segIndex) add(v *Verdict, spans, verdict evstore.Handle) {
+	x.Traces = append(x.Traces, TraceLoc{ID: v.ID, Spans: refOf(spans), Verdict: refOf(verdict)})
+	x.post(dimOutcome, v.Outcome, v.ID)
+	if v.ErrorKind != "" {
+		x.post(dimErrKind, v.ErrorKind, v.ID)
+	}
+	if v.Domain != "" {
+		x.post(dimDomain, v.Domain, v.ID)
+	}
+	for _, h := range v.Hosts {
+		x.post(dimDomain, h, v.ID)
+	}
+	for _, s := range v.Stages {
+		x.post(dimStage, s, v.ID)
+	}
+	for _, s := range v.SpanStatuses {
+		x.post(dimStatus, s, v.ID)
+	}
+	for _, c := range v.Cloaks {
+		x.post(dimCloak, c, v.ID)
+	}
+	if v.Adjudicable {
+		x.post(dimAdjudicable, "true", v.ID)
+	} else {
+		x.post(dimAdjudicable, "false", v.ID)
+	}
+}
+
+// post appends id to the posting list for dim=value, deduplicating against
+// the tail (IDs arrive in ascending order, so the last element is the only
+// possible duplicate).
+func (x *segIndex) post(dim, value string, id int64) {
+	key := dim + "=" + value
+	list := x.Postings[key]
+	if n := len(list); n > 0 && list[n-1] == id {
+		return
+	}
+	x.Postings[key] = append(list, id)
+}
+
+// intersect merges two sorted posting lists.
+func intersect(a, b []int64) []int64 {
+	out := make([]int64, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,92 @@
+package tracestore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Query is a parsed triage query: a conjunction of dimension=value terms
+// plus the pseudo-terms id=N (direct lookup) and limit=N (result cap).
+// The empty query matches every trace.
+//
+// Examples:
+//
+//	outcome=partial-evidence domain=login.example
+//	stage=classify status=error
+//	cloak=turnstile limit=10
+type Query struct {
+	terms []term
+	id    int64
+	limit int
+	src   string
+}
+
+// term is one dimension=value conjunct.
+type term struct {
+	key   string
+	value string
+}
+
+// queryDims are the indexed dimensions a term may use.
+var queryDims = map[string]bool{
+	dimDomain:      true,
+	dimOutcome:     true,
+	dimErrKind:     true,
+	dimStage:       true,
+	dimStatus:      true,
+	dimCloak:       true,
+	dimAdjudicable: true,
+}
+
+// validKeys renders the accepted key list for error messages, sorted.
+func validKeys() string {
+	keys := make([]string, 0, len(queryDims)+2)
+	for k := range queryDims {
+		keys = append(keys, k)
+	}
+	keys = append(keys, "id", "limit")
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// ParseQuery parses a whitespace-separated list of key=value terms.
+func ParseQuery(s string) (Query, error) {
+	q := Query{src: strings.Join(strings.Fields(s), " ")}
+	for _, field := range strings.Fields(s) {
+		key, value, ok := strings.Cut(field, "=")
+		if !ok || key == "" || value == "" {
+			return Query{}, fmt.Errorf("tracestore: bad query term %q: want key=value (valid keys: %s)", field, validKeys())
+		}
+		switch key {
+		case "id":
+			id, err := strconv.ParseInt(value, 10, 64)
+			if err != nil || id <= 0 {
+				return Query{}, fmt.Errorf("tracestore: bad id %q: want a positive integer", value)
+			}
+			q.id = id
+		case "limit":
+			n, err := strconv.Atoi(value)
+			if err != nil || n <= 0 {
+				return Query{}, fmt.Errorf("tracestore: bad limit %q: want a positive integer", value)
+			}
+			q.limit = n
+		default:
+			if !queryDims[key] {
+				return Query{}, fmt.Errorf("tracestore: unknown query key %q (valid keys: %s)", key, validKeys())
+			}
+			q.terms = append(q.terms, term{key: key, value: value})
+		}
+	}
+	return q, nil
+}
+
+// String returns the normalized query text (terms in input order, single
+// spaces).
+func (q Query) String() string {
+	if q.src == "" {
+		return "(all)"
+	}
+	return q.src
+}

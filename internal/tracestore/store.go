@@ -1,0 +1,235 @@
+package tracestore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"crawlerbox/internal/evstore"
+	"crawlerbox/internal/obs"
+)
+
+// ErrNotFound reports a trace ID absent from the segment.
+var ErrNotFound = errors.New("tracestore: trace not found")
+
+// Store is a read-only view over one finalized segment. It loads only the
+// trailing index record up front; span batches and verdict rows are read
+// on demand through their handles (zero-copy on mmap-backed opens).
+type Store struct {
+	ev      *evstore.Store
+	idx     segIndex
+	locs    map[int64]TraceLoc
+	ids     []int64 // ascending
+	metrics evstore.Handle
+}
+
+// Open opens a finalized segment. It scans the record stream once to find
+// the trailing KindTraceIndex (verifying every record's checksum on the
+// way, so torn or corrupt segments fail here, loudly) and keeps the last
+// index and metrics records — the freshest finalized state.
+func Open(path string) (*Store, error) {
+	ev, err := evstore.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{ev: ev, locs: map[int64]TraceLoc{}}
+	var idxPayload []byte
+	scanErr := ev.Each(func(h evstore.Handle, kind evstore.Kind, payload []byte) bool {
+		switch kind {
+		case evstore.KindTraceIndex:
+			idxPayload = append(idxPayload[:0], payload...)
+		case evstore.KindMetrics:
+			s.metrics = h
+		}
+		return true
+	})
+	if scanErr != nil {
+		ev.Close()
+		return nil, fmt.Errorf("tracestore: %s: %w", path, scanErr)
+	}
+	if idxPayload == nil {
+		ev.Close()
+		return nil, fmt.Errorf("tracestore: %s: no index record (segment not finalized?)", path)
+	}
+	if err := json.Unmarshal(idxPayload, &s.idx); err != nil {
+		ev.Close()
+		return nil, fmt.Errorf("tracestore: %s: bad index: %w", path, err)
+	}
+	if s.idx.Version != Version {
+		ev.Close()
+		return nil, fmt.Errorf("tracestore: %s: index version %d, want %d", path, s.idx.Version, Version)
+	}
+	for _, loc := range s.idx.Traces {
+		s.locs[loc.ID] = loc
+		s.ids = append(s.ids, loc.ID)
+	}
+	return s, nil
+}
+
+// Close releases the underlying segment.
+func (s *Store) Close() error { return s.ev.Close() }
+
+// IDs returns every trace ID in the segment, ascending.
+func (s *Store) IDs() []int64 { return append([]int64(nil), s.ids...) }
+
+// Len returns the number of indexed traces.
+func (s *Store) Len() int { return len(s.ids) }
+
+// Verdict reads one verdict row.
+func (s *Store) Verdict(id int64) (Verdict, error) {
+	loc, ok := s.locs[id]
+	if !ok {
+		return Verdict{}, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	kind, payload, err := s.ev.At(loc.Verdict.handle())
+	if err != nil {
+		return Verdict{}, err
+	}
+	if kind != evstore.KindVerdict {
+		return Verdict{}, fmt.Errorf("tracestore: id %d: record kind %d, want verdict", id, kind)
+	}
+	var v Verdict
+	if err := json.Unmarshal(payload, &v); err != nil {
+		return Verdict{}, fmt.Errorf("tracestore: id %d: bad verdict: %w", id, err)
+	}
+	return v, nil
+}
+
+// rawSpans returns the stored span-batch payload bytes (trace JSONL; empty
+// when the run collected no trace for this message). The returned slice is
+// a private copy.
+func (s *Store) rawSpans(id int64) ([]byte, error) {
+	loc, ok := s.locs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	kind, payload, err := s.ev.At(loc.Spans.handle())
+	if err != nil {
+		return nil, err
+	}
+	if kind != evstore.KindSpanBatch {
+		return nil, fmt.Errorf("tracestore: id %d: record kind %d, want span batch", id, kind)
+	}
+	return append([]byte(nil), payload...), nil
+}
+
+// Trace reads and validates one message's span tree. Returns (nil, nil)
+// when the message has no stored trace.
+func (s *Store) Trace(id int64) (*obs.Trace, error) {
+	payload, err := s.rawSpans(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) == 0 {
+		return nil, nil
+	}
+	traces, err := obs.ReadJSONL(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: id %d: %w", id, err)
+	}
+	if err := obs.ValidateTraces(traces); err != nil {
+		return nil, fmt.Errorf("tracestore: id %d: %w", id, err)
+	}
+	if len(traces) != 1 {
+		return nil, fmt.Errorf("tracestore: id %d: span batch holds %d traces, want 1", id, len(traces))
+	}
+	return traces[0], nil
+}
+
+// Metrics returns the segment's metrics snapshot.
+func (s *Store) Metrics() ([]obs.Point, error) {
+	if !s.metrics.Valid() {
+		return nil, nil
+	}
+	kind, payload, err := s.ev.At(s.metrics)
+	if err != nil {
+		return nil, err
+	}
+	if kind != evstore.KindMetrics {
+		return nil, fmt.Errorf("tracestore: metrics record kind %d", kind)
+	}
+	var points []obs.Point
+	if err := json.Unmarshal(payload, &points); err != nil {
+		return nil, fmt.Errorf("tracestore: bad metrics record: %w", err)
+	}
+	return points, nil
+}
+
+// Query runs a parsed query against the index and returns matching verdict
+// rows in ascending trace-ID order.
+func (s *Store) Query(q Query) ([]Verdict, error) {
+	ids := s.queryIDs(q)
+	out := make([]Verdict, 0, len(ids))
+	for _, id := range ids {
+		v, err := s.Verdict(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// queryIDs resolves a query to its matching trace IDs (ascending).
+func (s *Store) queryIDs(q Query) []int64 {
+	var ids []int64
+	if q.id != 0 {
+		if _, ok := s.locs[q.id]; ok {
+			ids = []int64{q.id}
+		}
+	} else {
+		ids = s.ids
+	}
+	for _, t := range q.terms {
+		ids = intersect(ids, s.idx.Postings[t.key+"="+t.value])
+		if len(ids) == 0 {
+			break
+		}
+	}
+	if q.limit > 0 && len(ids) > q.limit {
+		ids = ids[:q.limit]
+	}
+	return ids
+}
+
+// Readjudicate re-derives one message's verdict from its stored facts.
+func (s *Store) Readjudicate(id int64) (Readjudication, error) {
+	v, err := s.Verdict(id)
+	if err != nil {
+		return Readjudication{}, err
+	}
+	return ReadjudicateVerdict(v), nil
+}
+
+// Stats summarizes a segment for the triage server's landing endpoint.
+type Stats struct {
+	Traces       int            `json:"traces"`
+	Adjudicable  int            `json:"adjudicable"`
+	Outcomes     map[string]int `json:"outcomes,omitempty"`
+	Domains      int            `json:"domains"`
+	IndexEntries int            `json:"index_entries"`
+	Bytes        int64          `json:"bytes"`
+}
+
+// Stats computes segment-level tallies from the index alone (no record
+// reads).
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Traces:   len(s.ids),
+		Outcomes: map[string]int{},
+		Bytes:    s.ev.Size(),
+	}
+	//cblint:ignore maprange every write is order-independent (commutative tallies, distinct keys)
+	for key, list := range s.idx.Postings {
+		st.IndexEntries++
+		if len(key) > len(dimOutcome)+1 && key[:len(dimOutcome)+1] == dimOutcome+"=" {
+			st.Outcomes[key[len(dimOutcome)+1:]] = len(list)
+		}
+		if len(key) > len(dimDomain)+1 && key[:len(dimDomain)+1] == dimDomain+"=" {
+			st.Domains++
+		}
+	}
+	st.Adjudicable = len(s.idx.Postings[dimAdjudicable+"=true"])
+	return st
+}
