@@ -4,18 +4,19 @@ GO ?= go
 # benchmark so BENCH_$(PR).json carries mean/min/max per metric.
 BENCHTIME ?= 0.2s
 BENCHCOUNT ?= 5
-PR ?= 9
+PR ?= 10
 
-.PHONY: check build vet lint lint-sarif lint-test test race bench bench-scale benchquick tracecheck triagecheck
+.PHONY: check build vet lint lint-sarif lint-test test race bench bench-scale bench-serve benchquick tracecheck triagecheck servecheck
 
 # check is the repository's quality gate (DESIGN.md §7): compile, vet, the
 # cblint invariant linter in baseline and SARIF modes plus its own test
 # suite under the race detector (DESIGN.md §9, §13), the full test suite
 # (plain and under the race detector — the race run includes the
 # workers-1-vs-8 determinism tests and the concurrent-census test), one pass
-# of the pipeline-throughput benchmarks (serial + worker pool), and the
-# trace golden check (DESIGN.md §10).
-check: build vet lint lint-sarif lint-test test race benchquick tracecheck triagecheck
+# of the pipeline-throughput benchmarks (serial + worker pool), the trace
+# golden check (DESIGN.md §10), the triage-index golden gate (DESIGN.md
+# §14), and the ingest replay-determinism gate (DESIGN.md §15).
+check: build vet lint lint-sarif lint-test test race benchquick tracecheck triagecheck servecheck
 
 build:
 	$(GO) build ./...
@@ -92,6 +93,34 @@ triagecheck:
 	  $(GO) run ./cmd/obsreport -store testdata/triagecheck.store -adjudicate 4 ; } > $$tmp/triage.txt && \
 	diff -u testdata/triagecheck.golden.txt $$tmp/triage.txt && \
 	rm -rf $$tmp && echo "triagecheck: triage index, compaction, and renders match goldens"
+
+# servecheck is the continuous-ingest golden gate (DESIGN.md §15): record
+# the example corpus into a canned ingest log, replay it through the daemon
+# pipeline at workers 1 and 8, and require byte-identical verdict streams
+# and counter lines — the executable proof that the sharded verdict cache's
+# hit/miss decisions, provenance labels, and counters are
+# schedule-independent. The grep pins that the gate exercises the cache (27
+# duplicate landing URLs in this corpus), not just the empty-cache path.
+servecheck:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/crawlerboxd -record $$tmp/canned.ingestlog -seed 7 -scale 0.1 > /dev/null && \
+	$(GO) run ./cmd/crawlerboxd -replay $$tmp/canned.ingestlog -seed 7 -scale 0.1 \
+		-workers 1 -out $$tmp/stream1.jsonl > $$tmp/counters1.txt && \
+	$(GO) run ./cmd/crawlerboxd -replay $$tmp/canned.ingestlog -seed 7 -scale 0.1 \
+		-workers 8 -out $$tmp/stream8.jsonl > $$tmp/counters8.txt && \
+	cmp $$tmp/stream1.jsonl $$tmp/stream8.jsonl && \
+	diff -u $$tmp/counters1.txt $$tmp/counters8.txt && \
+	grep -q '"cache_hits":27' $$tmp/counters1.txt && \
+	rm -rf $$tmp && echo "servecheck: replay streams byte-identical at workers 1 and 8 (27 cache hits)"
+
+# bench-serve runs the continuous-ingest benchmarks (replay throughput over
+# the canned corpus log, verdict-cache hit path) and folds the results into
+# BENCH_$(PR).json alongside the regular suite; run make bench first so the
+# merge has a document to augment.
+bench-serve:
+	$(GO) test -run='^$$' -bench='BenchmarkIngestThroughput|BenchmarkVerdictCacheHit' \
+		-benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) ./internal/ingest \
+		| $(GO) run ./cmd/benchjson -o BENCH_$(PR).json -merge BENCH_$(PR).json
 
 # bench runs the full bench_test.go suite with allocation reporting and
 # BENCHCOUNT repetitions, then distills the output into BENCH_$(PR).json —

@@ -54,7 +54,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("obsreport", flag.ContinueOnError)
 	top := fs.Int("top", 3, "show the K slowest messages with their critical paths")
 	msg := fs.Int64("msg", 0, "render the full span tree for this trace (message) ID")
-	store := fs.String("store", "", "open a triage index segment written by -tracestore instead of a JSONL dump")
+	store := fs.String("store", "", "open triage index segment(s) written by -tracestore instead of a JSONL dump; comma-separate to federate, later segments win on duplicate IDs")
 	query := fs.String("q", "", "store mode: run a query (space-separated key=value terms) and print matching verdicts")
 	checklist := fs.Int64("checklist", 0, "store mode: render the triage checklist for this message ID")
 	adjudicate := fs.Int64("adjudicate", 0, "store mode: re-derive this message's verdict from its stored facts")
@@ -140,9 +140,10 @@ func runJSONL(path string, top int, msg int64, w io.Writer) error {
 }
 
 // runStore serves the triage-index views: query, checklist, adjudication,
-// stats, or the HTTP service.
+// stats, or the HTTP service. path may be a comma-separated segment list;
+// the segments federate with later-segment-wins overlay semantics.
 func runStore(path, query string, checklist, adjudicate int64, stats bool, serve string, w io.Writer) error {
-	st, err := tracestore.Open(path)
+	st, err := tracestore.Open(strings.Split(path, ",")...)
 	if err != nil {
 		return err
 	}

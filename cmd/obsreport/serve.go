@@ -1,21 +1,29 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
-	"strconv"
-	"strings"
+	"os/signal"
+	"syscall"
 
+	"crawlerbox/internal/climain"
 	"crawlerbox/internal/obs"
 	"crawlerbox/internal/tracestore"
 )
 
-// serveStore runs the HTTP triage service over one open segment.
+// serveStore runs the HTTP triage service over one open store (possibly
+// federating several segments), shutting down gracefully on SIGINT/SIGTERM.
 func serveStore(st *tracestore.Store, path, addr string, w io.Writer) error {
-	fmt.Fprintf(w, "obsreport: serving triage index %s on %s\n", path, addr)
-	return http.ListenAndServe(addr, triageMux(st))
+	srv, err := climain.NewHTTPServer(addr, triageMux(st))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "obsreport: serving triage index %s on %s\n", path, srv.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	return srv.Run(ctx)
 }
 
 // triageMux builds the triage API. Split from serveStore so the endpoint
@@ -49,41 +57,41 @@ func triageMux(st *tracestore.Store) *http.ServeMux {
 			"  /api/adjudicate?id=N\n")
 	})
 	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, st.Stats())
+		climain.WriteJSON(w, st.Stats())
 	})
 	mux.HandleFunc("/api/query", func(w http.ResponseWriter, r *http.Request) {
 		q, err := tracestore.ParseQuery(r.URL.Query().Get("q"))
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			climain.HTTPError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		verdicts, err := st.Query(q)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			climain.HTTPError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		writeJSON(w, verdicts)
+		climain.WriteJSON(w, verdicts)
 	})
 	mux.HandleFunc("/api/verdict", func(w http.ResponseWriter, r *http.Request) {
-		id, ok := idParam(w, r)
+		id, ok := climain.IDParam(w, r)
 		if !ok {
 			return
 		}
 		v, err := st.Verdict(id)
 		if err != nil {
-			storeError(w, err)
+			climain.LookupError(w, err)
 			return
 		}
-		writeJSON(w, v)
+		climain.WriteJSON(w, v)
 	})
 	mux.HandleFunc("/api/trace", func(w http.ResponseWriter, r *http.Request) {
-		id, ok := idParam(w, r)
+		id, ok := climain.IDParam(w, r)
 		if !ok {
 			return
 		}
 		t, err := st.Trace(id)
 		if err != nil {
-			storeError(w, err)
+			climain.LookupError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -95,58 +103,29 @@ func triageMux(st *tracestore.Store) *http.ServeMux {
 		fmt.Fprint(w, obs.RenderTree(t))
 	})
 	mux.HandleFunc("/api/checklist", func(w http.ResponseWriter, r *http.Request) {
-		id, ok := idParam(w, r)
+		id, ok := climain.IDParam(w, r)
 		if !ok {
 			return
 		}
 		text, err := st.Checklist(id)
 		if err != nil {
-			storeError(w, err)
+			climain.LookupError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, text)
 	})
 	mux.HandleFunc("/api/adjudicate", func(w http.ResponseWriter, r *http.Request) {
-		id, ok := idParam(w, r)
+		id, ok := climain.IDParam(w, r)
 		if !ok {
 			return
 		}
 		adj, err := st.Readjudicate(id)
 		if err != nil {
-			storeError(w, err)
+			climain.LookupError(w, err)
 			return
 		}
-		writeJSON(w, adj)
+		climain.WriteJSON(w, adj)
 	})
 	return mux
-}
-
-// idParam parses the mandatory id query parameter, writing a 400 on
-// failure.
-func idParam(w http.ResponseWriter, r *http.Request) (int64, bool) {
-	raw := r.URL.Query().Get("id")
-	id, err := strconv.ParseInt(raw, 10, 64)
-	if err != nil || id <= 0 {
-		http.Error(w, fmt.Sprintf("bad id %q: want a positive integer", raw), http.StatusBadRequest)
-		return 0, false
-	}
-	return id, true
-}
-
-// storeError maps store lookup failures to HTTP statuses.
-func storeError(w http.ResponseWriter, err error) {
-	if strings.Contains(err.Error(), "not found") {
-		http.Error(w, err.Error(), http.StatusNotFound)
-		return
-	}
-	http.Error(w, err.Error(), http.StatusInternalServerError)
-}
-
-// writeJSON writes v as indented JSON.
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
 }

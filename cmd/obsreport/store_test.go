@@ -195,3 +195,35 @@ func TestTriageServer(t *testing.T) {
 	get("/api/query?q=color%3Dred", http.StatusBadRequest)
 	get("/nope", http.StatusNotFound)
 }
+
+// TestStoreCLIFederated drives a comma-separated -store list: the two
+// segments federate with later-segment-wins overlay semantics.
+func TestStoreCLIFederated(t *testing.T) {
+	base := makeStore(t)
+	overlay := filepath.Join(t.TempDir(), "overlay.tstore")
+	w, err := tracestore.Create(overlay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Add(tracestore.Verdict{ID: 2, Outcome: "active-phishing", Domain: "other.example"})
+	w.Add(tracestore.Verdict{ID: 9, Outcome: "cloaked-benign"})
+	if err := w.Finalize(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-store", base + "," + overlay, "-stats"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "traces: 3") {
+		t.Errorf("federated stats:\n%s", got)
+	}
+	buf.Reset()
+	if err := run([]string{"-store", base + "," + overlay, "-q", "outcome=no-web-resource"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0 match(es)") {
+		t.Errorf("shadowed base row leaked into federated query:\n%s", buf.String())
+	}
+}

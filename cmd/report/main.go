@@ -70,28 +70,9 @@ func run() error {
 	}
 	fmt.Printf("Analyzing %d messages with CrawlerBox (%d workers)...\n\n", c.Len(), *shared.Workers)
 	observer := shared.Observer()
-	opts := []report.Option{
-		report.WithWorkers(*shared.Workers),
-		report.WithObserver(observer),
-		report.WithResilience(shared.Policy()),
-	}
-	store, err := shared.EvidenceStore()
-	if err != nil {
-		return err
-	}
-	if store != nil {
-		defer store.Close()
-		opts = append(opts, report.WithEvidenceStore(store))
-	}
-	tstore, err := shared.TraceStoreWriter()
-	if err != nil {
-		return err
-	}
-	if tstore != nil {
-		defer tstore.Close()
-		opts = append(opts, report.WithTraceStore(tstore))
-	}
-	run, err := report.Analyze(context.Background(), c, opts...)
+	// The -evidence and -tracestore stores ride along as path options:
+	// Analyze creates, finalizes, and closes them itself.
+	run, err := report.Analyze(context.Background(), c, shared.ReportOptions(observer)...)
 	if err != nil {
 		return err
 	}

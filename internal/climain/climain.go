@@ -15,6 +15,7 @@ import (
 
 	"crawlerbox/internal/evstore"
 	"crawlerbox/internal/obs"
+	"crawlerbox/internal/report"
 	"crawlerbox/internal/resilience"
 	"crawlerbox/internal/tracestore"
 )
@@ -58,6 +59,21 @@ func Register(fs *flag.FlagSet) *Flags {
 		Evidence: fs.String("evidence", "", "spill bulky evidence (visit records, traffic) to an append-only store at FILE"),
 		TraceStore: fs.String("tracestore", "",
 			"write the triage index (span trees, verdict evidence, metrics) to FILE; query with `obsreport -store`"),
+	}
+}
+
+// ReportOptions assembles the report.Analyze options the shared flags
+// select: the worker count, the given observer, the resilience policy, and
+// the path-based evidence/trace stores (-evidence / -tracestore) whose
+// create/finalize/close lifecycle Analyze owns — one coherent options
+// surface for batch runs, replays, and the daemon.
+func (f *Flags) ReportOptions(observer *obs.Observer) []report.Option {
+	return []report.Option{
+		report.WithWorkers(*f.Workers),
+		report.WithObserver(observer),
+		report.WithResilience(f.Policy()),
+		report.WithEvidencePath(*f.Evidence),
+		report.WithTraceStorePath(*f.TraceStore),
 	}
 }
 

@@ -46,6 +46,9 @@ type ExtractedURL struct {
 	// LenientOnly marks URLs that only a lenient extractor recovers —
 	// the faulty-QR evasion signature.
 	LenientOnly bool
+	// Rewritten marks URLs recovered by unwrapping a gateway rewrite
+	// (Safe Links / Proofpoint-style); URL holds the canonical form.
+	Rewritten bool
 }
 
 // HTMLAttachmentFile is an HTML file attached separately from the body.
@@ -75,6 +78,9 @@ type ParseResult struct {
 	// OTPCodes are access codes found in the body text (used to drive
 	// OTP-gated pages during the crawl).
 	OTPCodes []string
+	// RewrittenURLs counts gateway-rewritten links that were decoded back
+	// to their canonical URL during extraction.
+	RewrittenURLs int
 }
 
 // ParseMessage runs the full recursive parsing phase over a raw message.
@@ -259,6 +265,7 @@ func mergeParse(dst *ParseResult, seen map[string]bool, src *ParseResult) {
 	dst.QRCount += src.QRCount
 	dst.NoisePadded = dst.NoisePadded || src.NoisePadded
 	dst.OTPCodes = append(dst.OTPCodes, src.OTPCodes...)
+	dst.RewrittenURLs += src.RewrittenURLs
 }
 
 func extractFromText(text string) []string {
@@ -285,8 +292,21 @@ func addURLs(res *ParseResult, seen map[string]bool, urls []string, src URLSourc
 	}
 }
 
+// addURL canonicalizes and dedups one extracted URL. Gateway rewrites
+// (Safe Links / Proofpoint URL Defense wrappers) are decoded here, before
+// the dedup map, so a wrapped and an unwrapped report of the same landing
+// URL collapse to one entry — and downstream consumers (the crawl stage,
+// the ingest verdict cache) only ever see canonical URLs.
 func addURL(res *ParseResult, seen map[string]bool, u ExtractedURL) {
-	if u.URL == "" || seen[u.URL] {
+	if u.URL == "" {
+		return
+	}
+	if decoded, layers := urlx.DecodeRewritten(u.URL); layers > 0 {
+		u.URL = decoded
+		u.Rewritten = true
+		res.RewrittenURLs++
+	}
+	if seen[u.URL] {
 		return
 	}
 	seen[u.URL] = true

@@ -1,0 +1,61 @@
+package crawlerbox
+
+import (
+	"testing"
+
+	"crawlerbox/internal/urlx"
+)
+
+// TestParseDecodesRewrittenURLs pins the parse-time canonicalization: a
+// gateway-wrapped link extracts as its canonical URL (marked Rewritten),
+// and a wrapped plus an unwrapped report of the same landing URL collapse
+// into one deduped entry.
+func TestParseDecodesRewrittenURLs(t *testing.T) {
+	env := newEnv(t)
+	target := "https://secure-login.example/portal?t=u001x0042"
+	wrapped := urlx.WrapSafeLinks("eur01", target)
+
+	raw := buildMsg(t, "Review the notice: "+wrapped+"\nOr use the mirror: "+target)
+	res, err := env.pipe.ParseMessage(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.URLs) != 1 {
+		t.Fatalf("URLs = %v, want the wrapped and plain link deduped to one", res.URLs)
+	}
+	u := res.URLs[0]
+	if u.URL != target {
+		t.Errorf("URL = %q, want canonical %q", u.URL, target)
+	}
+	if !u.Rewritten {
+		t.Error("first (wrapped) extraction not marked Rewritten")
+	}
+	if res.RewrittenURLs != 1 {
+		t.Errorf("RewrittenURLs = %d, want 1", res.RewrittenURLs)
+	}
+
+	// Double wrapping decodes all the way down.
+	double := urlx.WrapSafeLinks("nam02", urlx.WrapURLDefense(target))
+	res, err = env.pipe.ParseMessage(buildMsg(t, "Open: "+double))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.URLs) != 1 || res.URLs[0].URL != target || !res.URLs[0].Rewritten {
+		t.Errorf("double-wrapped parse = %+v, want canonical %q marked Rewritten", res.URLs, target)
+	}
+
+	// A malformed wrapper passes through untouched and unmarked.
+	broken := "https://eur01.safelinks.protection.outlook.example/?url=https%ZZbroken&data=x"
+	res, err = env.pipe.ParseMessage(buildMsg(t, "Open: "+broken))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range res.URLs {
+		if u.Rewritten {
+			t.Errorf("malformed wrapper %q marked Rewritten", u.URL)
+		}
+	}
+	if res.RewrittenURLs != 0 {
+		t.Errorf("RewrittenURLs = %d for malformed wrapper, want 0", res.RewrittenURLs)
+	}
+}

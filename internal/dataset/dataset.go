@@ -64,6 +64,23 @@ const (
 	CarrierNone
 )
 
+// RewriteWrap identifies the gateway URL-rewrite a message's links were
+// run through in transit: enterprise mail filters rewrap every outbound
+// link (Microsoft Safe Links, Proofpoint URL Defense), so reported
+// messages carry the wrapped form while the phishing site lives at the
+// canonical URL underneath.
+type RewriteWrap int
+
+// Gateway rewrite variants.
+const (
+	RewriteNone RewriteWrap = iota
+	RewriteSafeLinks
+	RewriteURLDefense
+	// RewriteDouble models a URL Defense link forwarded through a Safe
+	// Links tenant: two wrapper layers around the canonical URL.
+	RewriteDouble
+)
+
 // Message is one generated corpus message with its ground truth. Raw is
 // populated by Generate; a streamed corpus (Stream) leaves it nil and
 // Each renders it on the fly, so the MIME payloads never accumulate.
@@ -78,6 +95,9 @@ type Message struct {
 	Brand     string
 	URL       string
 	Noise     bool
+	// Rewrite is the gateway URL-rewrite applied to the message's links at
+	// render time; URL always stays the canonical (unwrapped) form.
+	Rewrite RewriteWrap
 	// genIdx is the generator's per-category counter, recorded so render
 	// can rebuild the exact bytes (templates index off it).
 	genIdx int

@@ -14,6 +14,7 @@ import (
 	"crawlerbox/internal/mime"
 	"crawlerbox/internal/pdfx"
 	"crawlerbox/internal/qrcode"
+	"crawlerbox/internal/urlx"
 	"crawlerbox/internal/webnet"
 )
 
@@ -193,7 +194,37 @@ func (c *Corpus) planActiveMessage(di, k int, delivered time.Time,
 	default:
 		m.Carrier = CarrierTextLink
 	}
+	// Gateway URL rewrites hit the link carriers: mail filters rewrap the
+	// href/text URL in transit, while QR payloads and attachment contents
+	// pass through untouched (which is exactly why those carriers evade).
+	if m.Carrier == CarrierTextLink || m.Carrier == CarrierHTMLLink {
+		switch msgIdx % 5 {
+		case 0:
+			m.Rewrite = RewriteSafeLinks
+		case 2:
+			m.Rewrite = RewriteURLDefense
+		case 3:
+			m.Rewrite = RewriteDouble
+		}
+	}
 	return m
+}
+
+// wrapURL applies the planned gateway rewrite to a link at render time.
+// The message bytes carry the wrapped form; the plan's URL stays canonical
+// (the wrapper is transport dressing, not ground truth).
+func wrapURL(m *Message, url string) string {
+	tenant := fmt.Sprintf("nam%02d", m.genIdx%4+1)
+	switch m.Rewrite {
+	case RewriteSafeLinks:
+		return urlx.WrapSafeLinks(tenant, url)
+	case RewriteURLDefense:
+		return urlx.WrapURLDefense(url)
+	case RewriteDouble:
+		return urlx.WrapSafeLinks(tenant, urlx.WrapURLDefense(url))
+	default:
+		return url
+	}
 }
 
 // render rebuilds a message's MIME bytes from its plan. It is a pure
@@ -233,7 +264,7 @@ func (c *Corpus) render(m *Message) []byte {
 // renderActive rebuilds one active-phishing message from its plan.
 func (c *Corpus) renderActive(m *Message) []byte {
 	d := &c.Domains[m.DomainIdx]
-	url := m.URL
+	url := wrapURL(m, m.URL)
 	suffix := ""
 	if d.Cloaks.OTP {
 		suffix += "\nYour access code " + d.OTPCode + " expires in 15 minutes."

@@ -78,6 +78,13 @@ const (
 	// KindTraceIndex is the tracestore's inverted index over its verdict
 	// and span records; always the final record of a finalized segment.
 	KindTraceIndex Kind = 6
+	// KindIngestSpec is one submitted message spec in a continuous-ingest
+	// log (ingest.Spec as JSON): the append-only record of accepted work.
+	KindIngestSpec Kind = 7
+	// KindIngestDone is one emitted verdict in a continuous-ingest log
+	// (ingest.Emitted as JSON); a spec with a matching done record is
+	// complete and is re-emitted — not re-analyzed — on resume.
+	KindIngestDone Kind = 8
 )
 
 // Handle addresses one record. The zero Handle is invalid (the first
@@ -114,6 +121,35 @@ func Create(path string) (*Store, error) {
 		return nil, err
 	}
 	return &Store{f: f, w: w, size: headerSize}, nil
+}
+
+// OpenAppend opens an existing store for appending: new records land after
+// the current last byte. Used by the ingest journal, where a restarted
+// daemon continues the same append-only log it recovered its state from.
+func OpenAppend(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil || hdr != magic {
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+		}
+		return nil, ErrBadMagic
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	return &Store{f: f, w: w, size: st.Size()}, nil
 }
 
 // Open opens an existing store read-only, mapping it into memory when the

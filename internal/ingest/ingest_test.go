@@ -1,0 +1,368 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"crawlerbox/internal/crawlerbox"
+	"crawlerbox/internal/dataset"
+	"crawlerbox/internal/tracestore"
+)
+
+// buildWorld generates a fresh seed-7 world and its pipeline. Each caller
+// gets its own: analyses mutate world state (harvested credentials,
+// issued challenge tokens), so runs under byte-comparison must not share
+// one.
+func buildWorld(t testing.TB) (*dataset.Corpus, *crawlerbox.Pipeline) {
+	t.Helper()
+	c, err := dataset.Generate(dataset.Config{Seed: 7, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := crawlerbox.New(c.Net, c.Registry)
+	brands := make([]string, 0, len(c.BrandURLs))
+	for b := range c.BrandURLs {
+		brands = append(brands, b)
+	}
+	sort.Strings(brands)
+	for _, b := range brands {
+		if err := pipe.AddReference(context.Background(), b, c.BrandURLs[b]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, pipe
+}
+
+// specWindowStart selects the corpus tail the ingest tests run on: the
+// seed-7 corpus delivers its domain-reusing active-phish messages late, so
+// this window is where duplicate landing URLs (cache hits) live.
+const specWindowStart = 450
+
+// corpusSpecs converts the windowed corpus messages into ingest specs the
+// way the corpus runners do: sequential IDs, analyzed two hours after
+// delivery.
+func corpusSpecs(c *dataset.Corpus) []Spec {
+	msgs := c.Messages[specWindowStart:]
+	specs := make([]Spec, len(msgs))
+	for i := range msgs {
+		specs[i] = Spec{ID: int64(i + 1), At: msgs[i].Delivered.Add(2 * time.Hour), Raw: msgs[i].Raw}
+	}
+	return specs
+}
+
+// recordLog writes a canned spec-only ingest log.
+func recordLog(t testing.TB, path string, specs []Spec) {
+	t.Helper()
+	log, err := CreateLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if err := log.AppendSpec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+
+// replayStream replays a log against a fresh world and renders the
+// canonical verdict stream.
+func replayStream(t *testing.T, logPath string, opts ...Option) ([]byte, Counters) {
+	t.Helper()
+	_, pipe := buildWorld(t)
+	res, err := Replay(context.Background(), logPath, pipe, PipelineKeyer(pipe), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteVerdictStream(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res.Counters
+}
+
+// TestReplayDeterminism pins the headline contract: replaying the same
+// ingest log is byte-identical for any worker count, with identical
+// cache-hit counters.
+func TestReplayDeterminism(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "ingest.log")
+	c, _ := buildWorld(t)
+	recordLog(t, logPath, corpusSpecs(c))
+
+	stream1, counters1 := replayStream(t, logPath, WithWorkers(1))
+	stream8, counters8 := replayStream(t, logPath, WithWorkers(8), WithQueueDepth(4))
+
+	if !bytes.Equal(stream1, stream8) {
+		t.Fatalf("verdict streams differ between workers 1 and 8 (%d vs %d bytes)",
+			len(stream1), len(stream8))
+	}
+	if counters1 != counters8 {
+		t.Fatalf("counters differ: %+v vs %+v", counters1, counters8)
+	}
+	if counters1.CacheHits == 0 {
+		t.Fatal("corpus produced no cache hits; the dedup contract is untested")
+	}
+	if counters1.Fresh+counters1.CacheHits != counters1.Submitted {
+		t.Fatalf("counters don't balance: %+v", counters1)
+	}
+}
+
+// TestKillResumeDeterminism pins checkpoint/resume: a log whose done
+// records cover only part of the work (the crash snapshot) replays to the
+// same verdict stream as the uninterrupted run — nothing lost, nothing
+// re-analyzed, re-emitted rows byte-identical.
+func TestKillResumeDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	fullPath := filepath.Join(dir, "full.log")
+	c, pipe := buildWorld(t)
+	specs := corpusSpecs(c)
+
+	// Uninterrupted journaled run: the reference stream plus a complete
+	// journal.
+	log, err := CreateLog(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(pipe, PipelineKeyer(pipe), log, WithWorkers(4))
+	svc.Start(context.Background())
+	if err := svc.SubmitBatch(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := svc.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refStream bytes.Buffer
+	if err := ref.WriteVerdictStream(&refStream); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash snapshot: all specs, but only half the done records — as if
+	// the daemon died mid-run. Journals append dones in completion order;
+	// any subset is a valid crash state, so an arbitrary one must resume
+	// correctly.
+	state, err := ReadLog(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashPath := filepath.Join(dir, "crash.log")
+	crash, err := CreateLog(crashPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	for _, s := range specs {
+		if err := crash.AppendSpec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range specs {
+		if e, ok := state.Done[s.ID]; ok && s.ID%2 == 0 {
+			if err := crash.AppendDone(e); err != nil {
+				t.Fatal(err)
+			}
+			kept++
+		}
+	}
+	if err := crash.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if kept == 0 {
+		t.Fatal("crash snapshot kept no done records")
+	}
+
+	resumedStream, resumedCounters := replayStream(t, crashPath, WithWorkers(8))
+	if !bytes.Equal(refStream.Bytes(), resumedStream) {
+		t.Fatalf("resumed stream differs from uninterrupted run (%d vs %d bytes)",
+			refStream.Len(), len(resumedStream))
+	}
+	if resumedCounters.Resumed != int64(kept) {
+		t.Fatalf("Resumed = %d, want %d", resumedCounters.Resumed, kept)
+	}
+}
+
+// TestCacheOffOutcomesAgree pins the cache-transparency contract: with the
+// dedup cache disabled every message runs the full pipeline, and the
+// verdict outcomes agree with the cached run entry for entry — only
+// provenance (and cost) differ.
+func TestCacheOffOutcomesAgree(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "ingest.log")
+	c, _ := buildWorld(t)
+	recordLog(t, logPath, corpusSpecs(c))
+
+	_, pipeOn := buildWorld(t)
+	on, err := Replay(context.Background(), logPath, pipeOn, PipelineKeyer(pipeOn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pipeOff := buildWorld(t)
+	off, err := Replay(context.Background(), logPath, pipeOff, PipelineKeyer(pipeOff), WithCache(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Counters.CacheHits == 0 || off.Counters.CacheHits != 0 {
+		t.Fatalf("cache counters: on=%+v off=%+v", on.Counters, off.Counters)
+	}
+	if len(on.Emitted) != len(off.Emitted) {
+		t.Fatalf("emission counts differ: %d vs %d", len(on.Emitted), len(off.Emitted))
+	}
+	for i := range on.Emitted {
+		a, b := on.Emitted[i], off.Emitted[i]
+		if a.ID != b.ID {
+			t.Fatalf("entry %d: IDs differ (%d vs %d)", i, a.ID, b.ID)
+		}
+		if a.Verdict.Outcome != b.Verdict.Outcome || a.Verdict.ErrorKind != b.Verdict.ErrorKind {
+			t.Errorf("id %d: outcome %q/%q (cached) vs %q/%q (fresh)",
+				a.ID, a.Verdict.Outcome, a.Verdict.ErrorKind, b.Verdict.Outcome, b.Verdict.ErrorKind)
+		}
+		if b.Provenance != ProvenanceFresh {
+			t.Errorf("id %d: cache-off provenance = %q", b.ID, b.Provenance)
+		}
+	}
+}
+
+// blockingAnalyzer is a test double whose Analyze blocks until released.
+type blockingAnalyzer struct {
+	release chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingAnalyzer) Analyze(ctx context.Context, spec crawlerbox.MessageSpec) (*crawlerbox.MessageAnalysis, error) {
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+	}
+	return nil, ctx.Err()
+}
+
+func (b *blockingAnalyzer) Release() { b.once.Do(func() { close(b.release) }) }
+
+// TestAdmissionControl pins load shedding: with maxPending reached,
+// Submit fails fast with ErrOverloaded, the spec is not journaled, and
+// the rejection is counted.
+func TestAdmissionControl(t *testing.T) {
+	ba := &blockingAnalyzer{release: make(chan struct{})}
+	keyer := func(raw []byte) string { return string(raw) }
+	svc := NewService(ba, keyer, nil, WithWorkers(1), WithQueueDepth(1), WithMaxPending(2))
+	ctx := context.Background()
+	svc.Start(ctx)
+
+	// Two distinct keys: the first occupies the worker, the second its
+	// queue slot. Both are pending.
+	if err := svc.Submit(ctx, Spec{ID: 1, Raw: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Submit(ctx, Spec{ID: 2, Raw: []byte("b")}); err != nil {
+		t.Fatal(err)
+	}
+	err := svc.Submit(ctx, Spec{ID: 3, Raw: []byte("c")})
+	if err != ErrOverloaded {
+		t.Fatalf("Submit #3 = %v, want ErrOverloaded", err)
+	}
+	ba.Release()
+	res, err := svc.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Rejected != 1 || res.Counters.Submitted != 2 {
+		t.Fatalf("counters = %+v, want 1 rejection over 2 accepted", res.Counters)
+	}
+	if len(res.Emitted) != 2 {
+		t.Fatalf("emitted %d verdicts, want 2", len(res.Emitted))
+	}
+}
+
+// TestWaiterFlush pins the singleflight path: a second submission of an
+// in-flight key becomes a waiter, is counted a cache hit at admission,
+// and is emitted as cached once the source analysis completes.
+func TestWaiterFlush(t *testing.T) {
+	ba := &blockingAnalyzer{release: make(chan struct{})}
+	keyer := func(raw []byte) string { return "same-key" }
+	svc := NewService(ba, keyer, nil, WithWorkers(2))
+	ctx := context.Background()
+	svc.Start(ctx)
+	if err := svc.Submit(ctx, Spec{ID: 1, Raw: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Submit(ctx, Spec{ID: 2, Raw: []byte("b")}); err != nil {
+		t.Fatal(err)
+	}
+	counters, _ := svc.Stats()
+	if counters.CacheHits != 1 || counters.Fresh != 1 {
+		t.Fatalf("admission counters = %+v, want 1 fresh + 1 hit", counters)
+	}
+	ba.Release()
+	res, err := svc.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Emitted) != 2 {
+		t.Fatalf("emitted %d verdicts, want 2", len(res.Emitted))
+	}
+	if res.Emitted[0].Provenance != ProvenanceFresh || res.Emitted[1].Provenance != ProvenanceCached {
+		t.Fatalf("provenances = %q, %q", res.Emitted[0].Provenance, res.Emitted[1].Provenance)
+	}
+	if res.Emitted[1].CachedFrom != 1 {
+		t.Fatalf("CachedFrom = %d, want 1", res.Emitted[1].CachedFrom)
+	}
+}
+
+// TestLogRoundTrip pins the journal codec: specs and done records read
+// back exactly, and appending to a reopened log continues it.
+func TestLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	specs := []Spec{
+		{ID: 1, At: time.Date(2024, 3, 1, 10, 0, 0, 0, time.UTC), Raw: []byte("first")},
+		{ID: 2, At: time.Date(2024, 3, 1, 11, 0, 0, 0, time.UTC), Raw: []byte("second")},
+	}
+	log, err := CreateLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.AppendSpec(specs[0]); err != nil {
+		t.Fatal(err)
+	}
+	done := Emitted{ID: 1, Provenance: ProvenanceFresh, Key: "https://k.example/",
+		Verdict: tracestore.Verdict{ID: 1, Outcome: "error-page"}}
+	if err := log.AppendDone(done); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen for append — the restarted-daemon path.
+	log2, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log2.AppendSpec(specs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := log2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	state, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state.Specs) != 2 || state.Specs[0].ID != 1 || state.Specs[1].ID != 2 {
+		t.Fatalf("specs = %+v", state.Specs)
+	}
+	if string(state.Specs[1].Raw) != "second" || !state.Specs[1].At.Equal(specs[1].At) {
+		t.Fatalf("spec 2 round-trip = %+v", state.Specs[1])
+	}
+	got, ok := state.Done[1]
+	if !ok || got.Verdict.Outcome != "error-page" || got.Provenance != ProvenanceFresh {
+		t.Fatalf("done record round-trip = %+v (ok=%v)", got, ok)
+	}
+}

@@ -1,0 +1,150 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"crawlerbox/internal/evstore"
+)
+
+// Spec is one reported message submitted for analysis: the unit of work
+// the ingest service accepts, journals, and feeds to the pipeline.
+type Spec struct {
+	// ID is the caller-assigned message ID: it seeds the analysis RNG
+	// stream and keys the verdict, so it must be unique within a log.
+	ID int64 `json:"id"`
+	// At is the virtual analysis time (typically delivery plus the paper's
+	// two-hour reporting lag). A zero At forks the world clock.
+	At time.Time `json:"at"`
+	// Raw is the RFC 5322 message bytes (base64 in the JSON encoding).
+	Raw []byte `json:"raw"`
+}
+
+// Log is the service's append-only ingest journal: an evstore file holding
+// one KindIngestSpec record per accepted submission and one KindIngestDone
+// record per emitted verdict. The pairing is the checkpoint: a restarted
+// daemon re-enqueues exactly the specs without a done record and re-emits
+// the done records verbatim, so work is neither lost nor re-analyzed.
+//
+// The journal is operational state, not a determinism artifact — done
+// records land in completion order, which depends on scheduling. The
+// determinism contract lives one level up: replaying a log's spec sequence
+// yields a byte-identical verdict stream for any worker count.
+type Log struct {
+	ev *evstore.Store
+}
+
+// CreateLog creates (or truncates) an ingest log at path.
+func CreateLog(path string) (*Log, error) {
+	ev, err := evstore.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{ev: ev}, nil
+}
+
+// OpenLog opens an existing ingest log for appending — the restarted
+// daemon's path: recover state with ReadLog, then continue journaling to
+// the same file.
+func OpenLog(path string) (*Log, error) {
+	ev, err := evstore.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{ev: ev}, nil
+}
+
+// AppendSpec journals one accepted submission.
+func (l *Log) AppendSpec(s Spec) error {
+	if l == nil {
+		return nil
+	}
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	if _, err := l.ev.Append(evstore.KindIngestSpec, payload); err != nil {
+		return err
+	}
+	return l.ev.Flush()
+}
+
+// AppendDone journals one emitted verdict.
+func (l *Log) AppendDone(e Emitted) error {
+	if l == nil {
+		return nil
+	}
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := l.ev.Append(evstore.KindIngestDone, payload); err != nil {
+		return err
+	}
+	return l.ev.Flush()
+}
+
+// Close closes the journal file.
+func (l *Log) Close() error {
+	if l == nil {
+		return nil
+	}
+	return l.ev.Close()
+}
+
+// LogState is the decoded content of an ingest log: the accepted specs in
+// submission order and the verdicts already emitted, keyed by message ID.
+type LogState struct {
+	Specs []Spec
+	Done  map[int64]Emitted
+}
+
+// ReadLog scans an ingest log. Both Replay (batch-to-completion) and a
+// restarting daemon recover their state from this one view.
+func ReadLog(path string) (*LogState, error) {
+	ev, err := evstore.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer ev.Close()
+	state := &LogState{Done: map[int64]Emitted{}}
+	seen := map[int64]bool{}
+	var scanErr error
+	err = ev.Each(func(_ evstore.Handle, kind evstore.Kind, payload []byte) bool {
+		switch kind {
+		case evstore.KindIngestSpec:
+			var s Spec
+			if err := json.Unmarshal(payload, &s); err != nil {
+				scanErr = fmt.Errorf("ingest: decoding spec record: %w", err)
+				return false
+			}
+			if seen[s.ID] {
+				scanErr = fmt.Errorf("ingest: duplicate spec id %d in log", s.ID)
+				return false
+			}
+			seen[s.ID] = true
+			state.Specs = append(state.Specs, s)
+		case evstore.KindIngestDone:
+			var e Emitted
+			if err := json.Unmarshal(payload, &e); err != nil {
+				scanErr = fmt.Errorf("ingest: decoding done record: %w", err)
+				return false
+			}
+			state.Done[e.ID] = e
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	for id := range state.Done {
+		if !seen[id] {
+			return nil, fmt.Errorf("ingest: done record for unknown spec id %d", id)
+		}
+	}
+	return state, nil
+}

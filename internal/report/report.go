@@ -60,11 +60,13 @@ type Run struct {
 
 // options collects the Analyze configuration assembled by Option values.
 type options struct {
-	workers    int
-	observer   *obs.Observer
-	resilience *resilience.Policy
-	evidence   *evstore.Store
-	tracestore *tracestore.Writer
+	workers      int
+	observer     *obs.Observer
+	resilience   *resilience.Policy
+	evidence     *evstore.Store
+	tracestore   *tracestore.Writer
+	evidencePath string
+	tracePath    string
 }
 
 // Option configures one aspect of an Analyze run.
@@ -96,27 +98,46 @@ func WithResilience(p *resilience.Policy) Option {
 	return func(o *options) { o.resilience = p }
 }
 
-// WithEvidenceStore spills bulky evidence to an on-disk store: each
+// WithEvidencePath spills bulky evidence to an on-disk store at path: each
 // analysis's visit records (markup, screenshots, request logs) are encoded
 // into one checksummed record — addressed afterwards by the analysis's
 // Evidence handle — and the corpus network's exchange ledger appends to the
 // same store instead of RAM. The spill happens after the worker's shard has
 // folded the analysis, so every aggregate is identical with or without a
-// store; only the residency of the evidence changes. A nil store disables
-// spilling (the default).
+// store; only the residency of the evidence changes. Analyze owns the
+// store's whole lifecycle: it creates the file and closes it before
+// returning. An empty path disables spilling (the default).
+func WithEvidencePath(path string) Option {
+	return func(o *options) { o.evidencePath = path }
+}
+
+// WithTraceStorePath persists the run's triage index at path: each
+// message's verdict row (outcome, domains, cloak flags, and the visit
+// facts the Classify stage adjudicated from) plus its span tree land in a
+// segment Analyze creates, finalizes, and closes — queryable afterwards
+// with `obsreport -store`. Implies observability: when no WithObserver is
+// given, Analyze creates an internal observer so span trees and metrics
+// exist to persist. The segment bytes are canonical — identical for every
+// worker count. An empty path disables the store (the default).
+func WithTraceStorePath(path string) Option {
+	return func(o *options) { o.tracePath = path }
+}
+
+// WithEvidenceStore spills evidence to a caller-owned store.
+//
+// Deprecated: use WithEvidencePath — Analyze then owns the store's
+// create/close lifecycle. This option remains for callers that must
+// share one store across runs; they keep responsibility for Close.
 func WithEvidenceStore(s *evstore.Store) Option {
 	return func(o *options) { o.evidence = s }
 }
 
-// WithTraceStore persists the run's triage index: each message's verdict
-// row (outcome, domains, cloak flags, and the visit facts the Classify
-// stage adjudicated from) plus its span tree land in the writer, which
-// Analyze finalizes into a queryable segment — the store cmd/obsreport
-// serves queries, checklists, and crawl-free re-adjudication from. Implies
-// observability: when no WithObserver is given, Analyze creates an internal
-// observer so span trees and metrics exist to persist. The segment bytes
-// are canonical — identical for every worker count. A nil writer disables
-// the store (the default).
+// WithTraceStore persists the triage index into a caller-owned writer.
+//
+// Deprecated: use WithTraceStorePath — Analyze then owns the writer's
+// create/finalize/close lifecycle. This option remains for callers that
+// pre-create the writer; Analyze still finalizes it, the caller defers
+// Close for the abort path.
 func WithTraceStore(w *tracestore.Writer) Option {
 	return func(o *options) { o.tracestore = w }
 }
@@ -147,6 +168,27 @@ func Analyze(ctx context.Context, c *dataset.Corpus, opts ...Option) (*Run, erro
 	workers := op.workers
 	if workers < 1 {
 		workers = 1
+	}
+	// Path-based options: Analyze owns the whole lifecycle of the stores it
+	// creates (the deprecated object-based options leave ownership with the
+	// caller).
+	if op.evidencePath != "" && op.evidence == nil {
+		st, err := evstore.Create(op.evidencePath)
+		if err != nil {
+			return nil, fmt.Errorf("report: evidence store: %w", err)
+		}
+		defer st.Close()
+		op.evidence = st
+	}
+	if op.tracePath != "" && op.tracestore == nil {
+		w, err := tracestore.Create(op.tracePath)
+		if err != nil {
+			return nil, fmt.Errorf("report: trace store: %w", err)
+		}
+		// No-op after the Finalize below succeeds; aborts the segment on
+		// every error path.
+		defer w.Close()
+		op.tracestore = w
 	}
 	pipe := crawlerbox.New(c.Net, c.Registry)
 	if op.tracestore != nil && op.observer == nil {

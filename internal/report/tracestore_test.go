@@ -157,3 +157,42 @@ func TestReadjudicationEquivalence(t *testing.T) {
 		t.Error("no adjudicable messages in the corpus — the equivalence test is vacuous")
 	}
 }
+
+// TestPathOptionsEquivalence pins the api redesign: the path-based options
+// (lifecycle owned by Analyze) produce byte-identical artifacts to the
+// deprecated caller-owned-object options.
+func TestPathOptionsEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	legacyPath := writeStore(t, dir, 4) // deprecated WithTraceStore
+
+	c, err := dataset.Stream(dataset.Config{Seed: 42, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathStore := filepath.Join(dir, "bypath.tstore")
+	evPath := filepath.Join(dir, "bypath.evidence")
+	if _, err := Analyze(context.Background(), c,
+		WithWorkers(4),
+		WithResilience(faultyPolicy()),
+		WithTraceStorePath(pathStore),
+		WithEvidencePath(evPath),
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	legacy, err := os.ReadFile(legacyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath, err := os.ReadFile(pathStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacy, byPath) {
+		t.Fatalf("path-based trace store diverges from caller-owned writer (%d vs %d bytes)",
+			len(legacy), len(byPath))
+	}
+	if fi, err := os.Stat(evPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("evidence store at %s: stat %v, want a non-empty file", evPath, err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 
 	"crawlerbox/internal/evstore"
 	"crawlerbox/internal/obs"
@@ -13,34 +14,73 @@ import (
 // ErrNotFound reports a trace ID absent from the segment.
 var ErrNotFound = errors.New("tracestore: trace not found")
 
-// Store is a read-only view over one finalized segment. It loads only the
-// trailing index record up front; span batches and verdict rows are read
-// on demand through their handles (zero-copy on mmap-backed opens).
-type Store struct {
+// segment is a read-only view over one finalized segment file. It loads
+// only the trailing index record up front; span batches and verdict rows
+// are read on demand through their handles (zero-copy on mmap-backed
+// opens).
+type segment struct {
 	ev      *evstore.Store
 	idx     segIndex
 	locs    map[int64]TraceLoc
-	ids     []int64 // ascending
 	metrics evstore.Handle
 }
 
-// Open opens a finalized segment. It scans the record stream once to find
-// the trailing KindTraceIndex (verifying every record's checksum on the
-// way, so torn or corrupt segments fail here, loudly) and keeps the last
-// index and metrics records — the freshest finalized state.
-func Open(path string) (*Store, error) {
+// Store is a read-only view over one or more finalized segments,
+// federated under a later-segment-wins rule: when several segments hold
+// the same trace ID, the segment listed last owns the row — the same
+// overlay semantics Compact applies when folding segments on disk, so
+// opening [base, rerun] and opening the compaction of [base, rerun] serve
+// identical verdicts.
+type Store struct {
+	segs []*segment
+	win  map[int64]int // trace ID -> index of the owning (last) segment
+	ids  []int64       // federated, ascending
+}
+
+// Open opens one or more finalized segments as a single federated store.
+// Each segment's record stream is scanned once to find its trailing
+// KindTraceIndex (verifying every record's checksum on the way, so torn
+// or corrupt segments fail here, loudly). Queries, checklists, and
+// re-adjudication all see the federated later-segment-wins view.
+func Open(paths ...string) (*Store, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("tracestore: Open needs at least one segment path")
+	}
+	s := &Store{win: map[int64]int{}}
+	for si, path := range paths {
+		seg, err := openSegment(path)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.segs = append(s.segs, seg)
+		for _, loc := range seg.idx.Traces {
+			s.win[loc.ID] = si
+		}
+	}
+	s.ids = make([]int64, 0, len(s.win))
+	//cblint:ignore maprange keys are collected then sorted on the next line
+	for id := range s.win {
+		s.ids = append(s.ids, id)
+	}
+	sort.Slice(s.ids, func(i, j int) bool { return s.ids[i] < s.ids[j] })
+	return s, nil
+}
+
+// openSegment opens and index-loads one segment file.
+func openSegment(path string) (*segment, error) {
 	ev, err := evstore.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{ev: ev, locs: map[int64]TraceLoc{}}
+	seg := &segment{ev: ev, locs: map[int64]TraceLoc{}}
 	var idxPayload []byte
 	scanErr := ev.Each(func(h evstore.Handle, kind evstore.Kind, payload []byte) bool {
 		switch kind {
 		case evstore.KindTraceIndex:
 			idxPayload = append(idxPayload[:0], payload...)
 		case evstore.KindMetrics:
-			s.metrics = h
+			seg.metrics = h
 		}
 		return true
 	})
@@ -52,37 +92,54 @@ func Open(path string) (*Store, error) {
 		ev.Close()
 		return nil, fmt.Errorf("tracestore: %s: no index record (segment not finalized?)", path)
 	}
-	if err := json.Unmarshal(idxPayload, &s.idx); err != nil {
+	if err := json.Unmarshal(idxPayload, &seg.idx); err != nil {
 		ev.Close()
 		return nil, fmt.Errorf("tracestore: %s: bad index: %w", path, err)
 	}
-	if s.idx.Version != Version {
+	if seg.idx.Version != Version {
 		ev.Close()
-		return nil, fmt.Errorf("tracestore: %s: index version %d, want %d", path, s.idx.Version, Version)
+		return nil, fmt.Errorf("tracestore: %s: index version %d, want %d", path, seg.idx.Version, Version)
 	}
-	for _, loc := range s.idx.Traces {
-		s.locs[loc.ID] = loc
-		s.ids = append(s.ids, loc.ID)
+	for _, loc := range seg.idx.Traces {
+		seg.locs[loc.ID] = loc
 	}
-	return s, nil
+	return seg, nil
 }
 
-// Close releases the underlying segment.
-func (s *Store) Close() error { return s.ev.Close() }
+// Close releases every underlying segment.
+func (s *Store) Close() error {
+	var first error
+	for _, seg := range s.segs {
+		if err := seg.ev.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.segs = nil
+	return first
+}
 
-// IDs returns every trace ID in the segment, ascending.
+// IDs returns every federated trace ID, ascending.
 func (s *Store) IDs() []int64 { return append([]int64(nil), s.ids...) }
 
-// Len returns the number of indexed traces.
+// Len returns the number of federated traces.
 func (s *Store) Len() int { return len(s.ids) }
 
-// Verdict reads one verdict row.
+// owner resolves a trace ID to its winning segment.
+func (s *Store) owner(id int64) (*segment, bool) {
+	si, ok := s.win[id]
+	if !ok {
+		return nil, false
+	}
+	return s.segs[si], true
+}
+
+// Verdict reads one verdict row from the ID's winning segment.
 func (s *Store) Verdict(id int64) (Verdict, error) {
-	loc, ok := s.locs[id]
+	seg, ok := s.owner(id)
 	if !ok {
 		return Verdict{}, fmt.Errorf("%w: id %d", ErrNotFound, id)
 	}
-	kind, payload, err := s.ev.At(loc.Verdict.handle())
+	kind, payload, err := seg.ev.At(seg.locs[id].Verdict.handle())
 	if err != nil {
 		return Verdict{}, err
 	}
@@ -100,11 +157,11 @@ func (s *Store) Verdict(id int64) (Verdict, error) {
 // when the run collected no trace for this message). The returned slice is
 // a private copy.
 func (s *Store) rawSpans(id int64) ([]byte, error) {
-	loc, ok := s.locs[id]
+	seg, ok := s.owner(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
 	}
-	kind, payload, err := s.ev.At(loc.Spans.handle())
+	kind, payload, err := seg.ev.At(seg.locs[id].Spans.handle())
 	if err != nil {
 		return nil, err
 	}
@@ -137,12 +194,12 @@ func (s *Store) Trace(id int64) (*obs.Trace, error) {
 	return traces[0], nil
 }
 
-// Metrics returns the segment's metrics snapshot.
-func (s *Store) Metrics() ([]obs.Point, error) {
-	if !s.metrics.Valid() {
+// segMetrics reads one segment's metrics snapshot.
+func (seg *segment) segMetrics() ([]obs.Point, error) {
+	if !seg.metrics.Valid() {
 		return nil, nil
 	}
-	kind, payload, err := s.ev.At(s.metrics)
+	kind, payload, err := seg.ev.At(seg.metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -156,8 +213,45 @@ func (s *Store) Metrics() ([]obs.Point, error) {
 	return points, nil
 }
 
-// Query runs a parsed query against the index and returns matching verdict
-// rows in ascending trace-ID order.
+// Metrics returns the store's metrics snapshot. A single segment's points
+// pass through unchanged; multiple segments fold through
+// Registry.MergePoints — the same merge Compact applies on disk.
+func (s *Store) Metrics() ([]obs.Point, error) {
+	if len(s.segs) == 1 {
+		return s.segs[0].segMetrics()
+	}
+	reg := obs.NewRegistry()
+	for _, seg := range s.segs {
+		points, err := seg.segMetrics()
+		if err != nil {
+			return nil, err
+		}
+		reg.MergePoints(points)
+	}
+	return reg.Snapshot(), nil
+}
+
+// postings resolves one "dim=value" key to its federated posting list:
+// each segment's list filtered to the IDs that segment owns, merged
+// ascending. For a single segment this is the raw list.
+func (s *Store) postings(key string) []int64 {
+	if len(s.segs) == 1 {
+		return s.segs[0].idx.Postings[key]
+	}
+	var out []int64
+	for si, seg := range s.segs {
+		for _, id := range seg.idx.Postings[key] {
+			if s.win[id] == si {
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Query runs a parsed query against the federated index and returns
+// matching verdict rows in ascending trace-ID order.
 func (s *Store) Query(q Query) ([]Verdict, error) {
 	ids := s.queryIDs(q)
 	out := make([]Verdict, 0, len(ids))
@@ -175,14 +269,14 @@ func (s *Store) Query(q Query) ([]Verdict, error) {
 func (s *Store) queryIDs(q Query) []int64 {
 	var ids []int64
 	if q.id != 0 {
-		if _, ok := s.locs[q.id]; ok {
+		if _, ok := s.win[q.id]; ok {
 			ids = []int64{q.id}
 		}
 	} else {
 		ids = s.ids
 	}
 	for _, t := range q.terms {
-		ids = intersect(ids, s.idx.Postings[t.key+"="+t.value])
+		ids = intersect(ids, s.postings(t.key+"="+t.value))
 		if len(ids) == 0 {
 			break
 		}
@@ -202,9 +296,10 @@ func (s *Store) Readjudicate(id int64) (Readjudication, error) {
 	return ReadjudicateVerdict(v), nil
 }
 
-// Stats summarizes a segment for the triage server's landing endpoint.
+// Stats summarizes a store for the triage server's landing endpoint.
 type Stats struct {
 	Traces       int            `json:"traces"`
+	Segments     int            `json:"segments"`
 	Adjudicable  int            `json:"adjudicable"`
 	Outcomes     map[string]int `json:"outcomes,omitempty"`
 	Domains      int            `json:"domains"`
@@ -212,16 +307,29 @@ type Stats struct {
 	Bytes        int64          `json:"bytes"`
 }
 
-// Stats computes segment-level tallies from the index alone (no record
-// reads).
+// Stats computes store-level tallies from the indexes alone (no record
+// reads). Multi-segment tallies count each trace once, under its winning
+// segment's dimensions.
 func (s *Store) Stats() Stats {
 	st := Stats{
 		Traces:   len(s.ids),
+		Segments: len(s.segs),
 		Outcomes: map[string]int{},
-		Bytes:    s.ev.Size(),
+	}
+	keys := map[string]bool{}
+	for _, seg := range s.segs {
+		st.Bytes += seg.ev.Size()
+		//cblint:ignore maprange collecting a key set is order-independent
+		for key := range seg.idx.Postings {
+			keys[key] = true
+		}
 	}
 	//cblint:ignore maprange every write is order-independent (commutative tallies, distinct keys)
-	for key, list := range s.idx.Postings {
+	for key := range keys {
+		list := s.postings(key)
+		if len(list) == 0 {
+			continue
+		}
 		st.IndexEntries++
 		if len(key) > len(dimOutcome)+1 && key[:len(dimOutcome)+1] == dimOutcome+"=" {
 			st.Outcomes[key[len(dimOutcome)+1:]] = len(list)
@@ -230,6 +338,6 @@ func (s *Store) Stats() Stats {
 			st.Domains++
 		}
 	}
-	st.Adjudicable = len(s.idx.Postings[dimAdjudicable+"=true"])
+	st.Adjudicable = len(s.postings(dimAdjudicable + "=true"))
 	return st
 }

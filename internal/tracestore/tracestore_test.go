@@ -215,3 +215,108 @@ func TestVerdictOfFailedAnalysis(t *testing.T) {
 		t.Errorf("failed re-adjudication = %+v, want carried-through match", r)
 	}
 }
+
+// TestFederatedOpen pins the multi-segment Open: the federated view
+// applies the same later-segment-wins overlay Compact does, so queries,
+// verdict reads, stats, and metrics over Open(base, overlay) agree with a
+// store compacted from the same segments.
+func TestFederatedOpen(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.tstore")
+	overlay := filepath.Join(dir, "overlay.tstore")
+
+	baseW, err := Create(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseW.Add(Verdict{ID: 1, Outcome: "error-page", ErrorKind: "network", Domain: "dead.example"})
+	baseW.Add(Verdict{ID: 2, Outcome: "no-web-resource"})
+	if err := baseW.Finalize(nil, []obs.Point{{Name: "runs_total", Type: "counter", Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	overlayW, err := Create(overlay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlayW.Add(Verdict{ID: 2, Outcome: "active-phishing", Domain: "login.example", Adjudicable: true})
+	overlayW.Add(Verdict{ID: 3, Outcome: "cloaked-benign"})
+	if err := overlayW.Finalize(nil, []obs.Point{{Name: "runs_total", Type: "counter", Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Open(base, overlay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	ids := st.IDs()
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Fatalf("federated ids = %v, want [1 2 3]", ids)
+	}
+	v2, err := st.Verdict(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Outcome != "active-phishing" || v2.Domain != "login.example" {
+		t.Errorf("id 2 = %+v, want the overlay row", v2)
+	}
+
+	// The base segment's postings for the shadowed row must not leak: id 2
+	// is no longer no-web-resource.
+	q, err := ParseQuery("outcome=no-web-resource")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdicts, err := st.Query(q); err != nil || len(verdicts) != 0 {
+		t.Errorf("shadowed posting leaked: %v (err %v)", verdicts, err)
+	}
+	q, err = ParseQuery("outcome=active-phishing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts, err := st.Query(q)
+	if err != nil || len(verdicts) != 1 || verdicts[0].ID != 2 {
+		t.Errorf("overlay query = %v (err %v), want id 2", verdicts, err)
+	}
+
+	stats := st.Stats()
+	if stats.Traces != 3 || stats.Segments != 2 || stats.Adjudicable != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Outcomes["no-web-resource"] != 0 || stats.Outcomes["active-phishing"] != 1 {
+		t.Errorf("stats outcomes = %+v", stats.Outcomes)
+	}
+
+	points, err := st.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 || points[0].Name != "runs_total" || points[0].Value != 2 {
+		t.Errorf("folded metrics = %+v, want runs_total=2", points)
+	}
+
+	// Federated reads agree with the on-disk compaction of the same list.
+	out := filepath.Join(dir, "out.tstore")
+	if err := Compact(out, base, overlay); err != nil {
+		t.Fatal(err)
+	}
+	cst, err := Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cst.Close()
+	for _, id := range ids {
+		fv, err := st.Verdict(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cv, err := cst.Verdict(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fv.Outcome != cv.Outcome || fv.ErrorKind != cv.ErrorKind || fv.Domain != cv.Domain {
+			t.Errorf("id %d: federated %+v != compacted %+v", id, fv, cv)
+		}
+	}
+}

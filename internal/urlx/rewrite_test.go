@@ -1,0 +1,148 @@
+package urlx
+
+import (
+	"testing"
+)
+
+func TestDecodeRewrittenRoundTrip(t *testing.T) {
+	targets := []string{
+		"https://secure-login.example/portal?t=u001x0042",
+		"http://captcha-wall.example/verify?t=u003x0007#ZnJhZw==",
+		"https://evil.example/path/with%20space?a=1&b=2",
+	}
+	wrappers := []struct {
+		name string
+		wrap func(string) string
+	}{
+		{"safelinks", func(s string) string { return WrapSafeLinks("eur01", s) }},
+		{"urldefense", WrapURLDefense},
+		{"generic", func(s string) string { return WrapGenericRedirect("track.mailer.example", s) }},
+	}
+	for _, w := range wrappers {
+		for _, target := range targets {
+			wrapped := w.wrap(target)
+			got, layers := DecodeRewritten(wrapped)
+			if layers != 1 {
+				t.Errorf("%s(%q): layers = %d, want 1", w.name, target, layers)
+			}
+			want, ok := validateURL(target)
+			if !ok {
+				t.Fatalf("test target %q does not validate", target)
+			}
+			if got != want {
+				t.Errorf("%s(%q): decoded %q, want %q", w.name, target, got, want)
+			}
+		}
+	}
+}
+
+func TestDecodeRewrittenDoubleWrap(t *testing.T) {
+	target := "https://secure-login.example/portal?t=u001x0042"
+	want, _ := validateURL(target)
+
+	// Proofpoint inside Safe Links: a defended link forwarded through an
+	// Outlook tenant.
+	wrapped := WrapSafeLinks("nam02", WrapURLDefense(target))
+	got, layers := DecodeRewritten(wrapped)
+	if layers != 2 || got != want {
+		t.Errorf("safelinks(urldefense): got %q layers=%d, want %q layers=2", got, layers, want)
+	}
+
+	// Generic redirector inside Proofpoint.
+	wrapped = WrapURLDefense(WrapGenericRedirect("r.click.example", target))
+	got, layers = DecodeRewritten(wrapped)
+	if layers != 2 || got != want {
+		t.Errorf("urldefense(generic): got %q layers=%d, want %q layers=2", got, layers, want)
+	}
+}
+
+func TestDecodeRewrittenDepthCap(t *testing.T) {
+	target := "https://secure-login.example/a"
+	wrapped := target
+	for i := 0; i < maxRewriteDepth+3; i++ {
+		wrapped = WrapGenericRedirect("r.click.example", wrapped)
+	}
+	_, layers := DecodeRewritten(wrapped)
+	if layers != maxRewriteDepth {
+		t.Errorf("layers = %d, want depth cap %d", layers, maxRewriteDepth)
+	}
+}
+
+func TestDecodeRewrittenUntouched(t *testing.T) {
+	// URLs that must pass through unchanged with zero layers: the world's
+	// own tokenized links, wrappers with malformed or missing payloads, and
+	// outright junk.
+	cases := []string{
+		"https://secure-login.example/portal?t=u001x0042",
+		"https://secure-login.example/portal?t=u001x0042#dmljdGlt",
+		// Safe Links host but the payload percent-encoding is broken.
+		"https://eur01.safelinks.protection.outlook.example/?url=https%ZZbroken&data=x",
+		// Safe Links host, payload is not an absolute URL.
+		"https://eur01.safelinks.protection.outlook.example/?url=not-a-url&data=x",
+		// Safe Links host with no url param at all.
+		"https://eur01.safelinks.protection.outlook.example/?data=x",
+		// URL Defense v3 with no closing marker.
+		"https://urldefense.example/v3/__https://evil.example/a",
+		// URL Defense v3 with a placeholder run (unreconstructable).
+		"https://urldefense.example/v3/__https://evil.example/a*b__;!!t$",
+		// Generic ?url= whose payload is relative.
+		"https://track.mailer.example/redirect?url=/local/path",
+		// Non-http scheme never unwraps.
+		"ftp://track.mailer.example/redirect?url=https%3A%2F%2Fevil.example",
+		"not a url at all",
+		"",
+	}
+	for _, raw := range cases {
+		got, layers := DecodeRewritten(raw)
+		if layers != 0 || got != raw {
+			t.Errorf("DecodeRewritten(%q) = %q, %d; want input unchanged, 0 layers", raw, got, layers)
+		}
+	}
+}
+
+func TestDecodeRewrittenURLDefenseNoChecksum(t *testing.T) {
+	// A v3 wrapper whose checksum separator was truncated to a bare closing
+	// marker still decodes.
+	raw := "https://urldefense.example/v3/__https://evil.example/a__"
+	got, layers := DecodeRewritten(raw)
+	if layers != 1 || got != "https://evil.example/a" {
+		t.Errorf("got %q layers=%d, want https://evil.example/a layers=1", got, layers)
+	}
+}
+
+// FuzzURLRewrite drives the decoder with arbitrary input (it must never
+// panic and never loop past the depth cap) and cross-checks the round-trip
+// property when the input happens to be a valid URL.
+func FuzzURLRewrite(f *testing.F) {
+	f.Add("https://secure-login.example/portal?t=u001x0042")
+	f.Add(WrapSafeLinks("eur01", "https://secure-login.example/portal?t=u001x0042"))
+	f.Add(WrapURLDefense("https://captcha-wall.example/verify?t=u003x0007"))
+	f.Add(WrapGenericRedirect("track.mailer.example", "http://evil.example/a?b=c"))
+	f.Add(WrapSafeLinks("nam02", WrapURLDefense("https://evil.example/x")))
+	f.Add("https://eur01.safelinks.protection.outlook.example/?url=https%ZZbroken")
+	f.Add("https://urldefense.example/v3/__https://evil.example/a*b__;!!t$")
+	f.Fuzz(func(t *testing.T, raw string) {
+		decoded, layers := DecodeRewritten(raw)
+		if layers < 0 || layers > maxRewriteDepth {
+			t.Fatalf("layers = %d out of range", layers)
+		}
+		if layers == 0 && decoded != raw {
+			t.Fatalf("zero layers but input mutated: %q -> %q", raw, decoded)
+		}
+		if layers > 0 {
+			if _, ok := validateURL(decoded); !ok {
+				t.Fatalf("decoded %q from %q is not a valid URL", decoded, raw)
+			}
+		}
+		// Re-wrapping a stable decode must round-trip: only when decoded is
+		// itself fully unwrapped (the depth cap can leave residual layers).
+		if layers > 0 {
+			if _, more := DecodeRewritten(decoded); more == 0 {
+				again, n := DecodeRewritten(WrapSafeLinks("fuzz01", decoded))
+				if n != 1 || again != decoded {
+					t.Fatalf("rewrap(%q) decoded to %q (%d layers)", decoded, again, n)
+				}
+			}
+		}
+	})
+}
